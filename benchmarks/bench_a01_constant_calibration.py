@@ -1,0 +1,17 @@
+"""Bench a01: Ablation: practical constant calibration.
+
+Regenerates the a01 ablation tables (see DESIGN.md section 3) and times
+one full quick-mode run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import get_experiment
+
+from conftest import run_and_print
+
+
+def test_a01_constant_calibration(benchmark):
+    """Regenerate and time ablation a01."""
+    tables = run_and_print(benchmark, get_experiment("a01"))
+    assert tables and all(table.rows for table in tables)

@@ -1,0 +1,17 @@
+"""Bench a03: Ablation: candidate-set decoding policies.
+
+Regenerates the a03 ablation tables (see DESIGN.md section 3) and times
+one full quick-mode run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import get_experiment
+
+from conftest import run_and_print
+
+
+def test_a03_candidate_policies(benchmark):
+    """Regenerate and time ablation a03."""
+    tables = run_and_print(benchmark, get_experiment("a03"))
+    assert tables and all(table.rows for table in tables)

@@ -1,0 +1,17 @@
+"""Bench e16: Section 7 — polylog MIS vs poly-Delta matching.
+
+Regenerates the e16 table (see DESIGN.md section 3) and times one full
+quick-mode run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import get_experiment
+
+from conftest import run_and_print
+
+
+def test_e16_polylog_contrast(benchmark):
+    """Regenerate and time experiment e16."""
+    tables = run_and_print(benchmark, get_experiment("e16"))
+    assert tables and all(table.rows for table in tables)

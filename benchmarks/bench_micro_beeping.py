@@ -1,0 +1,52 @@
+"""Micro-benchmarks: the beeping substrate's execution paths."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.beeping import BernoulliNoise, run_schedule
+from repro.core import SimulationParameters, simulate_broadcast_round
+from repro.graphs import Topology, random_regular_graph
+
+
+def test_batch_schedule_execution(benchmark):
+    """Vectorised OR-of-neighbours over a 5000-round schedule."""
+    topology = Topology(random_regular_graph(64, 6, seed=1))
+    rng = np.random.default_rng(0)
+    schedule = rng.random((64, 5000)) < 0.05
+
+    heard = benchmark(run_schedule, topology, schedule)
+    assert heard.shape == (64, 5000)
+
+
+def test_noise_application(benchmark):
+    """Windowed Bernoulli flips over a 50k-round block."""
+    channel = BernoulliNoise(0.1, seed=3)
+    block = np.zeros((64, 50_000), dtype=bool)
+
+    heard = benchmark(channel.apply, block, 0)
+    assert heard.shape == block.shape
+
+
+def test_full_simulated_round_noiseless(benchmark):
+    """One complete Algorithm 1 round, n = 24, Delta = 4, eps = 0."""
+    topology = Topology(random_regular_graph(24, 4, seed=2))
+    params = SimulationParameters(message_bits=5, max_degree=4, eps=0.0, c=3)
+    messages = [v % 32 for v in range(24)]
+
+    outcome = benchmark(
+        simulate_broadcast_round, topology, messages, params, 7
+    )
+    assert outcome.success
+
+
+def test_full_simulated_round_noisy(benchmark):
+    """One complete Algorithm 1 round, n = 24, Delta = 4, eps = 0.1."""
+    topology = Topology(random_regular_graph(24, 4, seed=2))
+    params = SimulationParameters(message_bits=5, max_degree=4, eps=0.1, c=5)
+    messages = [v % 32 for v in range(24)]
+
+    outcome = benchmark(
+        simulate_broadcast_round, topology, messages, params, 7
+    )
+    assert outcome.beep_rounds_used == params.overhead

@@ -1,0 +1,65 @@
+"""Micro-benchmarks: code construction and decoding primitives.
+
+These track the hot paths of Algorithm 1 — codeword generation, the
+phase-1 candidate scan, and nearest-codeword decoding — independent of any
+experiment sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import bitstrings as bs
+from repro.codes import BeepCode, CombinedCode, DistanceCode
+from repro.core import phase1_decode, phase2_decode
+
+
+def _codes(seed: int = 0) -> CombinedCode:
+    beep = BeepCode(input_bits=24, k=5, c=4, seed=seed)
+    distance = DistanceCode(
+        input_bits=12, delta=1.0 / 3.0, length=beep.weight, seed=seed
+    )
+    return CombinedCode(beep_code=beep, distance_code=distance)
+
+
+def test_beep_codeword_generation(benchmark):
+    """Generate (uncached) beep codewords for fresh inputs."""
+    code = BeepCode(input_bits=24, k=5, c=4, seed=0)
+    counter = iter(range(10**9))
+
+    def generate():
+        return code.encode_int(next(counter))
+
+    word = benchmark(generate)
+    assert bs.weight(word) == code.weight
+
+
+def test_phase1_candidate_scan(benchmark):
+    """The Lemma 9 threshold test over 64 candidates x 16 nodes."""
+    codes = _codes()
+    beep = codes.beep_code
+    rng = np.random.default_rng(1)
+    candidates = [int(v) for v in rng.integers(0, 2**24, size=64)]
+    heard = rng.random((16, beep.length)) < 0.1
+
+    result = benchmark(phase1_decode, beep, heard, candidates, 0.1)
+    assert len(result) == 16
+
+
+def test_phase2_nearest_codeword(benchmark):
+    """Nearest-distance-codeword decoding for 16 nodes x 3 senders."""
+    codes = _codes()
+    rng = np.random.default_rng(2)
+    accepted = [set(int(v) for v in rng.integers(0, 2**24, size=3)) for _ in range(16)]
+    heard = rng.random((16, codes.length)) < 0.1
+    message_candidates = [int(v) for v in rng.integers(0, 2**12, size=48)]
+
+    result = benchmark(phase2_decode, codes, heard, accepted, message_candidates)
+    assert len(result) == 16
+
+
+def test_combined_encode(benchmark):
+    """CD(r, m) assembly."""
+    codes = _codes()
+    word = benchmark(codes.encode, 12345, 678)
+    assert word.shape == (codes.length,)

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_eXX`` module regenerates one experiment from DESIGN.md §3 via
+pytest-benchmark and prints its tables (run with ``-s`` to see them
+inline; they are also what ``python -m repro.experiments`` prints).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import Table
+
+
+def run_and_print(benchmark, runner, quick: bool = True, seed: int = 0) -> list[Table]:
+    """Benchmark one experiment runner (single round) and print its tables."""
+    tables = benchmark.pedantic(
+        runner, kwargs={"quick": quick, "seed": seed}, rounds=1, iterations=1
+    )
+    for table in tables:
+        print()
+        print(table.render())
+    return tables

@@ -1,0 +1,97 @@
+"""CONGEST over beeps: per-neighbour messaging on a carrier-sense radio.
+
+Demonstrates Corollary 12: a CONGEST algorithm — where every device sends a
+*different* message to each neighbour — running unchanged on the noisy
+beeping substrate.  The workload is a one-shot "link probing" protocol:
+each device sends every neighbour a per-link token and verifies the tokens
+it receives back in a second round, certifying bidirectional link health.
+
+Run:  python examples/congest_over_beeps.py
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro import SimulationParameters, Topology, random_regular_graph
+from repro.congest import CongestAlgorithm
+from repro.core import BeepSimulator
+
+PAYLOAD_BITS = 6
+
+
+def link_token(a: int, b: int) -> int:
+    """The token device ``a`` sends on its link to ``b``."""
+    return (a * 11 + b * 5) % (1 << PAYLOAD_BITS)
+
+
+class LinkProber(CongestAlgorithm):
+    """Round 0: send per-link tokens.  Round 1: echo received tokens back.
+    Output: the set of neighbours whose echo matched — healthy links."""
+
+    def __init__(self) -> None:
+        self._received: dict[int, int] = {}
+        self._echoes: dict[int, int] = {}
+        self._round = -1
+
+    def send(self, round_index: int) -> Mapping[int, int]:
+        neighbors = self.ctx.neighbor_ids or []
+        if round_index == 0:
+            return {u: link_token(self.ctx.node_id, u) for u in neighbors}
+        if round_index == 1:
+            return dict(self._received)  # echo each token to its sender
+        return {}
+
+    def receive(self, round_index: int, messages: Mapping[int, int]) -> None:
+        self._round = round_index
+        if round_index == 0:
+            self._received.update(messages)
+        elif round_index == 1:
+            self._echoes.update(messages)
+
+    @property
+    def finished(self) -> bool:
+        return self._round >= 1
+
+    def output(self) -> list[int]:
+        healthy = [
+            u
+            for u, echoed in sorted(self._echoes.items())
+            if echoed == link_token(self.ctx.node_id, u)
+        ]
+        return healthy
+
+
+def main() -> None:
+    topology = Topology(random_regular_graph(10, 3, seed=6))
+    eps = 0.05
+    params = SimulationParameters.for_network(
+        topology.num_nodes, topology.max_degree, eps=eps, gamma=6
+    )
+    print(f"network: n={topology.num_nodes}, Delta={topology.max_degree}, "
+          f"eps={eps}")
+    print(f"CONGEST round overhead: ~{(topology.max_degree) * params.overhead} "
+          "beeping rounds  [Corollary 12: O(Delta^2 log n)]\n")
+
+    simulator = BeepSimulator(topology, params=params, seed=21)
+    result = simulator.run_congest(
+        [LinkProber() for _ in range(topology.num_nodes)],
+        max_rounds=2,
+        payload_bits=PAYLOAD_BITS,
+    )
+
+    all_healthy = True
+    for v in range(topology.num_nodes):
+        expected = sorted(int(u) for u in topology.neighbors[v])
+        healthy = result.outputs[v]
+        status = "ok" if healthy == expected else "DEGRADED"
+        all_healthy &= healthy == expected
+        print(f"  device {v}: links {healthy} [{status}]")
+    print(f"\nall links certified bidirectional: {all_healthy}")
+    print(f"beeping rounds consumed: {result.stats.beep_rounds} "
+          f"({result.stats.simulated_rounds} simulated broadcast rounds)")
+    print(f"failed simulated rounds: {result.stats.failed_rounds}")
+
+
+if __name__ == "__main__":
+    main()

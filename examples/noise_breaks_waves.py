@@ -1,0 +1,99 @@
+"""Why coding matters: naive beep waves versus the coded simulation.
+
+Single-source broadcast with *beep waves* (Ghaffari–Haeupler style, the
+classic noiseless primitive) works perfectly on a quiet channel — but under
+Bernoulli noise a single spurious beep spawns a cascading false wave, and
+the primitive collapses.  The paper's coded simulation carries the same
+payload through the same noisy channel reliably.
+
+The script measures delivery rates of both approaches across noise levels
+on a grid network — a compact empirical version of the paper's "noise does
+not asymptotically increase the complexity" headline.
+
+Run:  python examples/noise_breaks_waves.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationParameters, Topology, grid_graph
+from repro import bitstrings as bs
+from repro.beeping import BernoulliNoise, beep_wave_broadcast
+from repro.congest import BroadcastCongestAlgorithm
+from repro.core import BeepSimulator
+
+
+class FloodMessage(BroadcastCongestAlgorithm):
+    """Floods an 8-bit payload from a source through the network."""
+
+    def __init__(self, source_payload: int | None, horizon: int) -> None:
+        self._payload = source_payload
+        self._horizon = horizon
+        self._rounds = 0
+
+    def broadcast(self, round_index: int) -> int | None:
+        return self._payload
+
+    def receive(self, round_index: int, messages: list[int]) -> None:
+        if self._payload is None and messages:
+            self._payload = messages[0]
+        self._rounds += 1
+
+    @property
+    def finished(self) -> bool:
+        return self._rounds >= self._horizon
+
+    def output(self) -> int | None:
+        return self._payload
+
+
+def wave_delivery_rate(topology: Topology, eps: float, trials: int) -> float:
+    message = bs.from_bits([1, 0, 1, 1, 0, 0, 1, 0])
+    delivered = 0
+    for seed in range(trials):
+        channel = BernoulliNoise(eps, seed=seed) if eps > 0 else None
+        result = beep_wave_broadcast(
+            topology, 0, message, channel=channel,
+            repetitions=9 if eps > 0 else 1,
+        )
+        delivered += result.all_correct(
+            message, set(range(topology.num_nodes))
+        )
+    return delivered / trials
+
+
+def coded_delivery_rate(topology: Topology, eps: float, trials: int) -> float:
+    payload = 0b10110010
+    horizon = 8  # enough flooding rounds to cover the grid diameter
+    delivered = 0
+    for seed in range(trials):
+        params = SimulationParameters.for_network(
+            topology.num_nodes, topology.max_degree, eps=eps, gamma=2
+        )
+        simulator = BeepSimulator(topology, params=params, seed=seed)
+        algorithms = [
+            FloodMessage(payload if v == 0 else None, horizon)
+            for v in range(topology.num_nodes)
+        ]
+        result = simulator.run_broadcast_congest(algorithms, max_rounds=horizon)
+        delivered += all(out == payload for out in result.outputs)
+    return delivered / trials
+
+
+def main() -> None:
+    topology = Topology(grid_graph(4, 4))
+    trials = 5
+    print("single-source broadcast of one byte on a 4x4 grid")
+    print(f"({trials} trials per cell; waves use 9x repetition under noise)\n")
+    print(f"{'eps':>6}  {'naive beep waves':>18}  {'coded simulation':>18}")
+    for eps in (0.0, 0.02, 0.1):
+        waves = wave_delivery_rate(topology, eps, trials)
+        coded = coded_delivery_rate(topology, eps, trials)
+        print(f"{eps:>6}  {waves:>18.0%}  {coded:>18.0%}")
+    print(
+        "\nnaive waves collapse once spurious beeps cascade; the beep-code/"
+        "\ndistance-code machinery of Algorithm 1 keeps delivering."
+    )
+
+
+if __name__ == "__main__":
+    main()

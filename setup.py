@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Allows ``pip install -e . --no-use-pep517 --no-build-isolation`` (legacy
+editable install) where PEP 660 builds are unavailable; all metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

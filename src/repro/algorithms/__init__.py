@@ -1,0 +1,55 @@
+"""Message-passing algorithms that run over the simulation (Section 6).
+
+The centrepiece is :class:`MaximalMatchingBC` — the paper's Algorithm 3, an
+``O(log n)``-round Broadcast CONGEST maximal matching, which Theorem 21
+turns into an ``O(Δ log² n)``-round noisy-beeping algorithm via the
+simulation.  The package also provides Luby's MIS, (Δ+1)-colouring, BFS
+trees and leader election written against the same interface, plus output
+validity checkers.
+"""
+
+from .maximal_matching import (
+    MaximalMatchingBC,
+    UNMATCHED,
+    make_matching_algorithms,
+    matching_message_bits,
+    run_matching_bc,
+)
+from .luby_mis import LubyMISBC, make_mis_algorithms, run_mis_bc
+from .coloring import ColoringBC, make_coloring_algorithms, run_coloring_bc
+from .bfs import BFSTreeBC, make_bfs_algorithms, run_bfs_bc
+from .leader_election import (
+    LeaderElectionBC,
+    make_leader_algorithms,
+    run_leader_election_bc,
+)
+from .verification import (
+    check_coloring,
+    check_matching,
+    check_mis,
+    check_bfs_tree,
+)
+
+__all__ = [
+    "MaximalMatchingBC",
+    "UNMATCHED",
+    "make_matching_algorithms",
+    "matching_message_bits",
+    "run_matching_bc",
+    "LubyMISBC",
+    "make_mis_algorithms",
+    "run_mis_bc",
+    "ColoringBC",
+    "make_coloring_algorithms",
+    "run_coloring_bc",
+    "BFSTreeBC",
+    "make_bfs_algorithms",
+    "run_bfs_bc",
+    "LeaderElectionBC",
+    "make_leader_algorithms",
+    "run_leader_election_bc",
+    "check_coloring",
+    "check_matching",
+    "check_mis",
+    "check_bfs_tree",
+]

@@ -1,0 +1,80 @@
+"""The paper's failure-probability bounds, as computable functions.
+
+These give the "paper-predicted" columns printed next to measured values in
+the experiment tables.  All bounds hold under the paper-strict constants
+(:func:`repro.core.paper_strict_c`); at practical constants they are
+reported for context only.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "lemma8_failure_bound",
+    "lemma9_failure_bound",
+    "lemma10_failure_bound",
+    "theorem11_failure_bound",
+    "strict_constraint_table",
+]
+
+
+def _check(num_nodes: int, c: int, gamma: int) -> None:
+    if num_nodes < 2 or c < 3 or gamma < 1:
+        raise ConfigurationError("need num_nodes >= 2, c >= 3, gamma >= 1")
+
+
+def lemma8_failure_bound(num_nodes: int, c: int, gamma: int = 1) -> float:
+    """Lemma 8: some codeword 5cγlog n-intersects a neighbourhood
+    superimposition with probability at most ``n^{3 - cγ}``."""
+    _check(num_nodes, c, gamma)
+    return min(1.0, float(num_nodes) ** (3 - c * gamma))
+
+
+def lemma9_failure_bound(num_nodes: int, c: int, gamma: int = 1) -> float:
+    """Lemma 9: some node misdecodes its codeword set (``R̃_v ≠ R_v``)
+    with probability at most ``n^{4 - cγ}``."""
+    _check(num_nodes, c, gamma)
+    return min(1.0, float(num_nodes) ** (4 - c * gamma))
+
+
+def lemma10_failure_bound(num_nodes: int, c: int, gamma: int = 1) -> float:
+    """Lemma 10: some node misdecodes some neighbour message with
+    probability at most ``n^{γ + 6 - cγ}``."""
+    _check(num_nodes, c, gamma)
+    return min(1.0, float(num_nodes) ** (gamma + 6 - c * gamma))
+
+
+def theorem11_failure_bound(
+    num_nodes: int, c: int, rounds: int, gamma: int = 1
+) -> float:
+    """Theorem 11: a ``T``-round simulated algorithm deviates from its
+    Broadcast CONGEST execution with probability at most
+    ``T · n^{γ + 6 - cγ}``."""
+    if rounds < 0:
+        raise ConfigurationError("rounds must be >= 0")
+    return min(1.0, rounds * lemma10_failure_bound(num_nodes, c, gamma))
+
+
+def strict_constraint_table(eps: float) -> list[tuple[str, float]]:
+    """Each paper constraint on ``c_ε`` with its value at this ``ε``.
+
+    Mirrors :func:`repro.core.paper_strict_c`; used by experiment tables to
+    show *why* the strict constants are impractical.
+    """
+    if not 0.0 < eps < 0.5:
+        raise ConfigurationError(f"eps must be in (0, 1/2), got {eps}")
+    one_minus = 1.0 - 2.0 * eps
+    return [
+        ("Lemma 9: 60/(1-2e)", 60.0 / one_minus),
+        ("Lemma 9: 54/((1-2e)^2 e)+5", 54.0 / (one_minus**2 * eps) + 5.0),
+        ("Lemma 9: (6/e)(1/(4e)-1/2)^-2", (6.0 / eps) * (1.0 / (4.0 * eps) - 0.5) ** -2),
+        ("Lemma 10: 30/(e(1-2e))", 30.0 / (eps * one_minus)),
+        (
+            "Lemma 10: 6((1-e)(1-2e)/(e(7-2e)))^-2",
+            6.0 * ((1.0 - eps) * one_minus / (eps * (7.0 - 2.0 * eps))) ** -2,
+        ),
+        ("Lemma 6 (distance code): sqrt(108)", math.sqrt(108.0)),
+    ]

@@ -1,0 +1,73 @@
+"""Analytic overhead landscape (Sections 1.2–1.3 of the paper).
+
+Round-complexity formulas, with leading constants set to 1, for the three
+generations of message-passing simulation in beeping models:
+
+========================  =========================  ====================
+work                      setup rounds               per-round overhead
+========================  =========================  ====================
+Beauquier et al. [7]      ``Δ⁶``                     ``Δ⁴ log n``
+Ashkenazi et al. [4]      ``Δ⁴ log n``               ``Δ log n · min{n, Δ²}``
+this paper (Thm. 11)      0                          ``Δ log n``
+this paper, CONGEST       0                          ``Δ² log n``
+========================  =========================  ====================
+
+Experiment E15 prints this landscape over an ``(n, Δ)`` grid; E8 compares
+the *measured* overheads of the implemented simulators against these
+shapes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "beauquier_setup",
+    "beauquier_overhead",
+    "agl_setup",
+    "agl_overhead",
+    "ours_broadcast_overhead",
+    "ours_congest_overhead",
+]
+
+
+def _check(num_nodes: int, delta: int) -> float:
+    if num_nodes < 2:
+        raise ConfigurationError("num_nodes must be >= 2")
+    if delta < 1:
+        raise ConfigurationError("delta must be >= 1")
+    return math.log2(num_nodes)
+
+
+def beauquier_setup(num_nodes: int, delta: int) -> float:
+    """Setup rounds of the [7] simulation: ``Δ⁶``."""
+    _check(num_nodes, delta)
+    return float(delta**6)
+
+
+def beauquier_overhead(num_nodes: int, delta: int) -> float:
+    """Per-CONGEST-round overhead of [7]: ``Δ⁴ log n``."""
+    return delta**4 * _check(num_nodes, delta)
+
+
+def agl_setup(num_nodes: int, delta: int) -> float:
+    """Setup rounds of the [4] simulation: ``Δ⁴ log n``."""
+    return delta**4 * _check(num_nodes, delta)
+
+
+def agl_overhead(num_nodes: int, delta: int) -> float:
+    """Per-CONGEST-round overhead of [4]: ``Δ log n · min{n, Δ²}``."""
+    log_n = _check(num_nodes, delta)
+    return delta * log_n * min(num_nodes, delta * delta)
+
+
+def ours_broadcast_overhead(num_nodes: int, delta: int) -> float:
+    """Per-Broadcast-CONGEST-round overhead of Theorem 11: ``Δ log n``."""
+    return delta * _check(num_nodes, delta)
+
+
+def ours_congest_overhead(num_nodes: int, delta: int) -> float:
+    """Per-CONGEST-round overhead of Corollary 12: ``Δ² log n``."""
+    return delta * delta * _check(num_nodes, delta)

@@ -1,0 +1,43 @@
+"""The beeping network substrate (Section 1.1 of the paper).
+
+Discrete synchronous rounds; in each round every device either **beeps** or
+**listens**.  A listener hears a beep iff at least one neighbour beeped; in
+the noisy model the heard bit is flipped independently with probability
+``ε ∈ (0, 1/2)``.
+
+Two execution paths with identical semantics (property-tested against each
+other):
+
+* :class:`BeepingNetwork` — a general round-by-round engine driving
+  arbitrary :class:`BeepingProtocol` objects;
+* :func:`run_schedule` — a vectorised executor for *schedule-driven* phases
+  (an ``(n, rounds)`` beep matrix in, heard matrix out), which is how the
+  code phases of Algorithm 1 run at speed.
+"""
+
+from .model import Action, BEEP, LISTEN
+from .noise import BernoulliNoise, NoiselessChannel, NoiseModel
+from .node import BeepingProtocol, ScheduledProtocol
+from .network import BeepingNetwork, ExecutionTrace
+from .batch import run_schedule
+from .primitives import BeepWaveResult, beep_wave_broadcast
+from .mis import BeepingMISProtocol, BeepingMISResult, beeping_mis
+
+__all__ = [
+    "Action",
+    "BEEP",
+    "LISTEN",
+    "NoiseModel",
+    "BernoulliNoise",
+    "NoiselessChannel",
+    "BeepingProtocol",
+    "ScheduledProtocol",
+    "BeepingNetwork",
+    "ExecutionTrace",
+    "run_schedule",
+    "BeepWaveResult",
+    "beep_wave_broadcast",
+    "BeepingMISProtocol",
+    "BeepingMISResult",
+    "beeping_mis",
+]

@@ -1,0 +1,19 @@
+"""Actions and observation conventions of the beeping model."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Action", "BEEP", "LISTEN"]
+
+
+class Action(enum.Enum):
+    """What a device does in one beeping round."""
+
+    BEEP = "beep"
+    LISTEN = "listen"
+
+
+#: Convenience aliases so protocols can ``return BEEP``.
+BEEP = Action.BEEP
+LISTEN = Action.LISTEN

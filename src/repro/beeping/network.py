@@ -1,0 +1,130 @@
+"""Round-by-round execution engine for the beeping model.
+
+Each round: every device picks BEEP or LISTEN; the engine computes the true
+received bit for every device (own beep, else OR of beeping neighbours),
+passes it through the noise model, and delivers the heard bit back to the
+device.  This is an exact discrete-time implementation of the model in
+Section 1.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, ProtocolViolationError
+from ..graphs import Topology
+from .model import Action
+from .node import BeepingProtocol
+from .noise import NoiseModel, NoiselessChannel
+
+__all__ = ["BeepingNetwork", "ExecutionTrace"]
+
+
+@dataclass
+class ExecutionTrace:
+    """Record of a beeping execution, for tests and experiments.
+
+    Attributes
+    ----------
+    rounds_used:
+        Number of rounds executed.
+    beeps:
+        Boolean ``(n, rounds_used)`` matrix of who beeped when (only kept
+        when tracing is enabled).
+    heard:
+        Boolean ``(n, rounds_used)`` matrix of what each device heard.
+    """
+
+    rounds_used: int = 0
+    beeps: np.ndarray | None = None
+    heard: np.ndarray | None = None
+    _beep_columns: list[np.ndarray] = field(default_factory=list, repr=False)
+    _heard_columns: list[np.ndarray] = field(default_factory=list, repr=False)
+
+    def _record(self, beeps: np.ndarray, heard: np.ndarray) -> None:
+        self._beep_columns.append(beeps.copy())
+        self._heard_columns.append(heard.copy())
+
+    def _finalize(self) -> None:
+        if self._beep_columns:
+            self.beeps = np.stack(self._beep_columns, axis=1)
+            self.heard = np.stack(self._heard_columns, axis=1)
+        self._beep_columns.clear()
+        self._heard_columns.clear()
+
+
+class BeepingNetwork:
+    """A beeping network over a fixed topology and noise model."""
+
+    def __init__(self, topology: Topology, channel: NoiseModel | None = None) -> None:
+        self._topology = topology
+        self._channel = channel if channel is not None else NoiselessChannel()
+
+    @property
+    def topology(self) -> Topology:
+        """The network topology."""
+        return self._topology
+
+    @property
+    def channel(self) -> NoiseModel:
+        """The noise model applied to heard bits."""
+        return self._channel
+
+    def run(
+        self,
+        protocols: Sequence[BeepingProtocol],
+        max_rounds: int,
+        start_round: int = 0,
+        trace: bool = False,
+        stop_when_finished: bool = True,
+    ) -> ExecutionTrace:
+        """Execute the protocols for up to ``max_rounds`` rounds.
+
+        Parameters
+        ----------
+        protocols:
+            One protocol per node, indexed by node id.
+        max_rounds:
+            Hard round budget.
+        start_round:
+            Global round number of the first executed round (keys the noise
+            stream, so phases can be chained reproducibly).
+        trace:
+            Keep full beep/heard matrices in the returned trace.
+        stop_when_finished:
+            Stop early once every protocol reports ``finished``.
+        """
+        n = self._topology.num_nodes
+        if len(protocols) != n:
+            raise ConfigurationError(
+                f"got {len(protocols)} protocols for {n} nodes"
+            )
+        if max_rounds < 0:
+            raise ConfigurationError(f"max_rounds must be >= 0, got {max_rounds}")
+        trace_record = ExecutionTrace()
+        beeps = np.zeros(n, dtype=bool)
+        for local_round in range(max_rounds):
+            round_index = start_round + local_round
+            if stop_when_finished and all(p.finished for p in protocols):
+                break
+            beeps[:] = False
+            for node, protocol in enumerate(protocols):
+                action = protocol.act(round_index)
+                if not isinstance(action, Action):
+                    raise ProtocolViolationError(
+                        f"node {node} returned {action!r}; protocols must "
+                        "return Action.BEEP or Action.LISTEN"
+                    )
+                beeps[node] = action is Action.BEEP
+            received = self._topology.neighbor_or(beeps) | beeps
+            heard = self._channel.apply(received, round_index)
+            for node, protocol in enumerate(protocols):
+                protocol.observe(round_index, bool(heard[node]))
+            trace_record.rounds_used += 1
+            if trace:
+                trace_record._record(beeps, heard)
+        trace_record._finalize()
+        return trace_record

@@ -1,0 +1,138 @@
+"""Channel noise models for the beeping substrate.
+
+The noisy beeping model of Ashkenazi, Gelles and Leshem [4] flips each heard
+bit independently with probability ``ε ∈ (0, 1/2)``.  Per the paper's
+Footnote 2 convention, a node "hears" its own beep as a 1, and in the noisy
+model that self-observation is flipped with probability ``ε`` as well — a
+simplification that only weakens the nodes, adopted here by default so
+measured failure rates are comparable to the analysis.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import derive_rng
+
+__all__ = ["NoiseModel", "NoiselessChannel", "BernoulliNoise"]
+
+
+class NoiseModel(ABC):
+    """Transforms the true received bits into what devices actually hear."""
+
+    @property
+    @abstractmethod
+    def eps(self) -> float:
+        """The per-bit flip probability (0 for a noiseless channel)."""
+
+    @abstractmethod
+    def apply(self, received: np.ndarray, round_index: int) -> np.ndarray:
+        """Return the heard bits for one round (or a block of rounds).
+
+        ``received`` is a boolean array — shape ``(n,)`` for a single round
+        or ``(n, r)`` for a block starting at ``round_index``.  The same
+        ``(round_index, shape)`` always yields the same flips, so the
+        per-round engine and the batch executor produce identical noise.
+        """
+
+
+class NoiselessChannel(NoiseModel):
+    """The noiseless beeping model: devices hear exactly the received bits."""
+
+    @property
+    def eps(self) -> float:
+        return 0.0
+
+    def apply(self, received: np.ndarray, round_index: int) -> np.ndarray:
+        return np.array(received, dtype=bool, copy=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NoiselessChannel()"
+
+
+#: Rounds per noise window.  Flips are generated one window at a time from
+#: a Philox stream keyed by (seed, window index), so the flips for round
+#: ``t`` depend only on ``(seed, t, n)`` — executing rounds one at a time
+#: or in arbitrary batches yields identical noise.
+_WINDOW = 4096
+
+
+class BernoulliNoise(NoiseModel):
+    """The noisy beeping model: each heard bit flips with probability ``ε``.
+
+    Flips are keyed by ``(seed, round)`` so executions are reproducible and
+    independent of how rounds are batched: applying rounds one at a time or
+    as a block yields the same flip pattern.
+    """
+
+    def __init__(self, eps: float, seed: int) -> None:
+        if not 0.0 < eps < 0.5:
+            raise ConfigurationError(
+                f"noisy beeping requires eps in (0, 1/2), got {eps} "
+                "(use NoiselessChannel for eps = 0)"
+            )
+        self._eps = eps
+        self._seed = seed
+        key_rng = derive_rng(seed, "beep-noise-key")
+        self._key = key_rng.integers(0, 2**63, size=2, dtype=np.uint64)
+        # Small LRU of recently generated windows, keyed by (window, n).
+        self._window_cache: dict[tuple[int, int], np.ndarray] = {}
+
+    @property
+    def eps(self) -> float:
+        return self._eps
+
+    @property
+    def seed(self) -> int:
+        """The seed keying the flip pattern."""
+        return self._seed
+
+    def apply(self, received: np.ndarray, round_index: int) -> np.ndarray:
+        received = np.asarray(received, dtype=bool)
+        if received.ndim == 1:
+            n = received.shape[0]
+            window, offset = divmod(round_index, _WINDOW)
+            return received ^ self._window_block(window, n)[offset]
+        if received.ndim != 2:
+            raise ConfigurationError("received array must be 1-D or 2-D")
+        n, rounds = received.shape
+        heard = np.empty_like(received)
+        position = 0
+        while position < rounds:
+            window, offset = divmod(round_index + position, _WINDOW)
+            take = min(_WINDOW - offset, rounds - position)
+            block = self._window_block(window, n)
+            heard[:, position : position + take] = (
+                received[:, position : position + take]
+                ^ block[offset : offset + take].T
+            )
+            position += take
+        return heard
+
+    def _window_block(self, window: int, n: int) -> np.ndarray:
+        """The ``( _WINDOW, n)`` flip matrix for one window of rounds."""
+        cache_key = (window, n)
+        block = self._window_cache.get(cache_key)
+        if block is None:
+            bit_generator = np.random.Philox(
+                key=self._key, counter=[0, 0, np.uint64(window), 0]
+            )
+            rng = np.random.Generator(bit_generator)
+            block = rng.random((_WINDOW, n)) < self._eps
+            if len(self._window_cache) >= 4:
+                self._window_cache.pop(next(iter(self._window_cache)))
+            self._window_cache[cache_key] = block
+        return block
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BernoulliNoise(eps={self._eps}, seed={self._seed})"
+
+
+def make_channel(eps: float, seed: int) -> NoiseModel:
+    """Build the appropriate channel for a noise rate (0 means noiseless)."""
+    if eps == 0.0:
+        return NoiselessChannel()
+    return BernoulliNoise(eps, seed)

@@ -1,0 +1,199 @@
+"""Bit-string algebra used throughout the paper (Section 1.5).
+
+Bit strings are represented as one-dimensional ``numpy`` arrays of dtype
+``bool``.  This module provides the paper's notation as named functions:
+
+* ``weight(s)`` — the number of ones ``1(s)`` (Definition 2);
+* ``d_intersects(s, t, d)`` — whether ``1(s ∧ t) ≥ d`` (Definition 2);
+* ``superimpose(S)`` — the bitwise OR ``∨(S)`` of a set of strings;
+* ``ones_positions(s)`` — the positions ``1_i(s)`` of the ones (Notation 7);
+* conversions to/from integers, plus constant-weight sampling used by the
+  beep-code construction of Theorem 4.
+
+All functions treat inputs as immutable and return fresh arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "BitString",
+    "zeros",
+    "ones",
+    "from_bits",
+    "from_int",
+    "to_int",
+    "to_01_string",
+    "from_01_string",
+    "weight",
+    "intersection_weight",
+    "d_intersects",
+    "hamming",
+    "superimpose",
+    "ones_positions",
+    "complement",
+    "random_bitstring",
+    "random_constant_weight",
+    "subsequence_at",
+]
+
+#: Type alias for a bit string: a 1-D boolean numpy array.
+BitString = np.ndarray
+
+
+def zeros(length: int) -> BitString:
+    """Return the all-zeros string of the given length."""
+    if length < 0:
+        raise ConfigurationError(f"bit string length must be >= 0, got {length}")
+    return np.zeros(length, dtype=bool)
+
+
+def ones(length: int) -> BitString:
+    """Return the all-ones string of the given length."""
+    if length < 0:
+        raise ConfigurationError(f"bit string length must be >= 0, got {length}")
+    return np.ones(length, dtype=bool)
+
+
+def from_bits(bits: Iterable[int]) -> BitString:
+    """Build a bit string from an iterable of 0/1 values."""
+    return np.asarray(list(bits), dtype=bool)
+
+
+def from_int(value: int, length: int) -> BitString:
+    """Encode ``value`` as a little-endian bit string of ``length`` bits.
+
+    Raises :class:`ConfigurationError` if ``value`` does not fit.
+    """
+    if value < 0:
+        raise ConfigurationError(f"cannot encode negative value {value}")
+    if length < 0 or (value >> length) != 0:
+        raise ConfigurationError(f"value {value} does not fit in {length} bits")
+    out = np.zeros(length, dtype=bool)
+    for position in range(length):
+        if value == 0:
+            break
+        if value & 1:
+            out[position] = True
+        value >>= 1
+    return out
+
+
+def to_int(bits: BitString) -> int:
+    """Decode a little-endian bit string back to an integer."""
+    value = 0
+    for position in np.flatnonzero(bits):
+        value |= 1 << int(position)
+    return value
+
+
+def to_01_string(bits: BitString) -> str:
+    """Render a bit string as a ``'0'``/``'1'`` text string (index 0 first)."""
+    return "".join("1" if bit else "0" for bit in bits)
+
+
+def from_01_string(text: str) -> BitString:
+    """Parse a ``'0'``/``'1'`` text string into a bit string."""
+    if set(text) - {"0", "1"}:
+        raise ConfigurationError(f"invalid characters in bit string literal: {text!r}")
+    return np.frombuffer(text.encode("ascii"), dtype=np.uint8) == ord("1")
+
+
+def weight(bits: BitString) -> int:
+    """Return ``1(s)``: the number of ones in the string (Definition 2)."""
+    return int(np.count_nonzero(bits))
+
+
+def intersection_weight(first: BitString, second: BitString) -> int:
+    """Return ``1(s ∧ s')``: the number of shared one-positions."""
+    _check_same_length(first, second)
+    return int(np.count_nonzero(first & second))
+
+
+def d_intersects(first: BitString, second: BitString, d: int) -> bool:
+    """Return whether ``first`` ``d``-intersects ``second`` (Definition 2).
+
+    That is, whether ``1(first ∧ second) ≥ d``.
+    """
+    return intersection_weight(first, second) >= d
+
+
+def hamming(first: BitString, second: BitString) -> int:
+    """Return the Hamming distance between two equal-length strings."""
+    _check_same_length(first, second)
+    return int(np.count_nonzero(first ^ second))
+
+
+def superimpose(strings: Sequence[BitString] | Iterable[BitString]) -> BitString:
+    """Return ``∨(S)``: the bitwise OR of all strings in ``S``.
+
+    An empty collection is invalid because the length would be unknown.
+    """
+    iterator = iter(strings)
+    try:
+        result = next(iterator).copy()
+    except StopIteration:
+        raise ConfigurationError("cannot superimpose an empty collection") from None
+    for string in iterator:
+        _check_same_length(result, string)
+        result |= string
+    return result
+
+
+def ones_positions(bits: BitString) -> np.ndarray:
+    """Return the sorted positions of ones, so ``1_i(s) = result[i-1]``.
+
+    Notation 7 of the paper indexes ones from 1; this returns a 0-indexed
+    array of the same positions.
+    """
+    return np.flatnonzero(bits)
+
+
+def complement(bits: BitString) -> BitString:
+    """Return ``¬s``, the bitwise complement."""
+    return ~bits
+
+
+def random_bitstring(rng: np.random.Generator, length: int) -> BitString:
+    """Sample a uniformly random bit string of the given length."""
+    return rng.integers(0, 2, size=length, dtype=np.uint8).astype(bool)
+
+
+def random_constant_weight(
+    rng: np.random.Generator, length: int, num_ones: int
+) -> BitString:
+    """Sample uniformly from the strings of ``length`` bits with ``num_ones`` ones.
+
+    This is the codeword distribution used in the proof of Theorem 4.
+    """
+    if not 0 <= num_ones <= length:
+        raise ConfigurationError(
+            f"constant weight {num_ones} invalid for length {length}"
+        )
+    out = np.zeros(length, dtype=bool)
+    positions = rng.choice(length, size=num_ones, replace=False)
+    out[positions] = True
+    return out
+
+
+def subsequence_at(bits: BitString, positions: np.ndarray) -> BitString:
+    """Return the subsequence of ``bits`` read at the given positions.
+
+    Used for extracting ``y_{v,w}`` from a heard string at the one-positions
+    of a beep codeword (Section 4).
+    """
+    if len(positions) and (positions.min() < 0 or positions.max() >= len(bits)):
+        raise ConfigurationError("subsequence positions out of range")
+    return bits[positions]
+
+
+def _check_same_length(first: BitString, second: BitString) -> None:
+    if first.shape != second.shape:
+        raise ConfigurationError(
+            f"bit string length mismatch: {first.shape[0]} vs {second.shape[0]}"
+        )

@@ -1,0 +1,54 @@
+"""Analytic length formulas for superimposed-type codes (Section 1.4).
+
+Reproduces the quantitative comparison the paper draws between classical
+superimposed codes and its beep codes: Kautz–Singleton needs ``O(k² a)``
+bits, the D'yachkov–Rykov lower bound says ``Ω(k² a / log k)`` is necessary
+for the strict property, while beep codes achieve ``c² k a`` by weakening
+the requirement to most-random-subsets-decodable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "kautz_singleton_length",
+    "dyachkov_rykov_lower_bound",
+    "beep_code_length",
+]
+
+
+def kautz_singleton_length(input_bits: int, k: int) -> int:
+    """Length of the Kautz–Singleton ``(a, k)``-superimposed code, ``Θ(k²a)``.
+
+    Computed from the actual construction (smallest feasible RS field), not
+    an asymptotic formula, so it matches :class:`KautzSingletonCode.length`.
+    """
+    from .superimposed import _choose_parameters
+
+    if input_bits < 1 or k < 1:
+        raise ConfigurationError("input_bits and k must be >= 1")
+    p, _ = _choose_parameters(input_bits, k)
+    return p * p
+
+
+def dyachkov_rykov_lower_bound(input_bits: int, k: int) -> float:
+    """The ``Ω(k² a / log k)`` lower bound on strict superimposed codes [14].
+
+    Returned as ``k² a / log₂(max(k, 2))`` — the bound's leading term with
+    constant 1, suitable for plotting the gap the paper describes.
+    """
+    if input_bits < 1 or k < 1:
+        raise ConfigurationError("input_bits and k must be >= 1")
+    return k * k * input_bits / math.log2(max(k, 2))
+
+
+def beep_code_length(input_bits: int, k: int, c: int) -> int:
+    """Length ``b = c²ka`` of the Theorem 4 beep code."""
+    if input_bits < 1 or k < 1:
+        raise ConfigurationError("input_bits and k must be >= 1")
+    if c < 3:
+        raise ConfigurationError(f"c must be >= 3, got {c}")
+    return c * c * k * input_bits

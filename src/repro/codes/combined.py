@@ -1,0 +1,103 @@
+"""The combined code ``CD(r, m)`` (Notation 7, Figure 1).
+
+``CD(r, m)`` writes the distance codeword ``D(m)`` into the positions where
+the beep codeword ``C(r)`` has ones, leaving every other position zero:
+
+    CD(r, m)_j = D(m)_i   if j is the i-th one-position of C(r),
+                 0        otherwise.
+
+For this to be well defined the distance code's length must equal the beep
+code's codeword weight — in the paper both are ``c_ε² γ log n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import bitstrings
+from ..bitstrings import BitString
+from ..errors import ConfigurationError
+from .beep import BeepCode
+from .distance import DistanceCode
+
+__all__ = ["CombinedCode"]
+
+
+@dataclass(frozen=True)
+class CombinedCode:
+    """The combined code built from a beep code and a distance code.
+
+    Attributes
+    ----------
+    beep_code:
+        The ``(a, k, 1/c)``-beep code ``C`` carrying the random slot pattern.
+    distance_code:
+        The ``(a', δ)``-distance code ``D`` carrying the actual message.
+    """
+
+    beep_code: BeepCode
+    distance_code: DistanceCode
+
+    def __post_init__(self) -> None:
+        if self.distance_code.length != self.beep_code.weight:
+            raise ConfigurationError(
+                "distance code length must equal beep codeword weight "
+                f"({self.distance_code.length} != {self.beep_code.weight}); "
+                "the distance codeword is written bit-for-bit into the beep "
+                "codeword's one-positions (Notation 7)"
+            )
+
+    @property
+    def length(self) -> int:
+        """Length of combined codewords (equals the beep code's length)."""
+        return self.beep_code.length
+
+    def encode(self, r: int, message: int) -> BitString:
+        """Return ``CD(r, message)``."""
+        slots = self.beep_code.encode_int(r)
+        payload = self.distance_code.encode_int(message)
+        out = np.zeros(self.length, dtype=bool)
+        out[bitstrings.ones_positions(slots)] = payload
+        return out
+
+    def extract(self, heard: BitString, r: int) -> BitString:
+        """Extract the payload subsequence ``y_{v,w}`` for slot pattern ``r``.
+
+        Reads ``heard`` at the one-positions of ``C(r)`` (Section 4); the
+        result has the distance code's length and can be decoded with
+        :meth:`DistanceCode.decode_nearest`.
+        """
+        if len(heard) != self.length:
+            raise ConfigurationError(
+                f"heard string has {len(heard)} bits, expected {self.length}"
+            )
+        slots = self.beep_code.encode_int(r)
+        return bitstrings.subsequence_at(heard, bitstrings.ones_positions(slots))
+
+    def layout(self, r: int, message: int) -> str:
+        """Render the Figure 1 construction as text (used by experiment E1).
+
+        Three aligned rows: the beep codeword ``C(r)``, the distance
+        codeword ``D(m)`` spread over the one-positions, and the combined
+        codeword ``CD(r, m)``.
+        """
+        slots = self.beep_code.encode_int(r)
+        payload = self.distance_code.encode_int(message)
+        combined = self.encode(r, message)
+        spread = []
+        payload_index = 0
+        for bit in slots:
+            if bit:
+                spread.append("1" if payload[payload_index] else "0")
+                payload_index += 1
+            else:
+                spread.append(".")
+        return "\n".join(
+            [
+                "C(r)    : " + bitstrings.to_01_string(slots),
+                "D(m)    : " + "".join(spread),
+                "CD(r,m) : " + bitstrings.to_01_string(combined),
+            ]
+        )

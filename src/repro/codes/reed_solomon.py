@@ -1,0 +1,122 @@
+"""Minimal Reed–Solomon codes over prime fields GF(p).
+
+Substrate for the Kautz–Singleton superimposed-code construction
+(:mod:`repro.codes.superimposed`).  A message of ``m`` field symbols is the
+coefficient vector of a degree ``< m`` polynomial, and its codeword is the
+polynomial's evaluations at all ``p`` field points.  Two distinct messages
+agree on at most ``m - 1`` evaluation points — the property Kautz–Singleton
+relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = ["ReedSolomonCode", "is_prime", "next_prime"]
+
+
+def is_prime(value: int) -> bool:
+    """Trial-division primality test (sufficient for the field sizes used)."""
+    if value < 2:
+        return False
+    if value < 4:
+        return True
+    if value % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def next_prime(value: int) -> int:
+    """Smallest prime ``>= value``."""
+    candidate = max(2, value)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+class ReedSolomonCode:
+    """A full-length Reed–Solomon code over GF(p).
+
+    Parameters
+    ----------
+    field_size:
+        A prime ``p``; the code has length ``p`` and alphabet ``[p]``.
+    message_symbols:
+        Number of message symbols ``m`` (``1 <= m <= p``); minimum distance
+        is ``p - m + 1``.
+    """
+
+    def __init__(self, field_size: int, message_symbols: int) -> None:
+        if not is_prime(field_size):
+            raise ConfigurationError(f"field size must be prime, got {field_size}")
+        if not 1 <= message_symbols <= field_size:
+            raise ConfigurationError(
+                f"message_symbols must be in [1, {field_size}], got {message_symbols}"
+            )
+        self._p = field_size
+        self._m = message_symbols
+
+    @property
+    def field_size(self) -> int:
+        """The field prime ``p`` (also the codeword length)."""
+        return self._p
+
+    @property
+    def message_symbols(self) -> int:
+        """Number of message symbols ``m``."""
+        return self._m
+
+    @property
+    def min_distance(self) -> int:
+        """Singleton-achieving minimum distance ``p - m + 1``."""
+        return self._p - self._m + 1
+
+    @property
+    def num_messages(self) -> int:
+        """Number of encodable messages ``p^m``."""
+        return self._p**self._m
+
+    def int_to_symbols(self, value: int) -> list[int]:
+        """Write an integer in base ``p`` as ``m`` symbols (little-endian)."""
+        if not 0 <= value < self.num_messages:
+            raise ConfigurationError(
+                f"message {value} outside [0, p^m) = [0, {self.num_messages})"
+            )
+        symbols = []
+        for _ in range(self._m):
+            symbols.append(value % self._p)
+            value //= self._p
+        return symbols
+
+    def encode_symbols(self, symbols: list[int]) -> list[int]:
+        """Evaluate the message polynomial at all field points."""
+        if len(symbols) != self._m:
+            raise ConfigurationError(
+                f"expected {self._m} message symbols, got {len(symbols)}"
+            )
+        if any(not 0 <= s < self._p for s in symbols):
+            raise ConfigurationError("message symbols must lie in [0, p)")
+        codeword = []
+        for point in range(self._p):
+            # Horner evaluation of sum(symbols[i] * x^i) at x = point.
+            accumulator = 0
+            for coefficient in reversed(symbols):
+                accumulator = (accumulator * point + coefficient) % self._p
+            codeword.append(accumulator)
+        return codeword
+
+    def encode_int(self, value: int) -> list[int]:
+        """Encode an integer message into its ``p`` evaluation symbols."""
+        return self.encode_symbols(self.int_to_symbols(value))
+
+    @staticmethod
+    def bits_capacity(field_size: int, message_symbols: int) -> int:
+        """Number of whole input bits representable by ``m`` base-``p`` symbols."""
+        return math.floor(message_symbols * math.log2(field_size))

@@ -1,0 +1,84 @@
+"""Algorithm interfaces for the two message-passing models.
+
+A distributed algorithm is written as a per-node object; the engine (native
+CONGEST/Broadcast CONGEST, or the beeping transpiler) drives all nodes in
+lock-step synchronous rounds:
+
+1. ``setup(ctx)`` once, before round 0;
+2. each round: ``broadcast``/``send`` collected from every node, messages
+   delivered, ``receive`` called on every node;
+3. the round loop stops when every node reports ``finished``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from .context import NodeContext
+
+__all__ = ["BroadcastCongestAlgorithm", "CongestAlgorithm"]
+
+
+class BroadcastCongestAlgorithm(ABC):
+    """A per-node Broadcast CONGEST algorithm.
+
+    Nodes broadcast one message per round to all neighbours and receive
+    their neighbours' messages as an **unattributed list** (see the package
+    docstring for why).  Returning ``None`` from :meth:`broadcast` means
+    the node stays silent that round; silent nodes' messages simply do not
+    appear in neighbours' lists.
+    """
+
+    def setup(self, ctx: NodeContext) -> None:
+        """Install the node context (called once before round 0)."""
+        self.ctx = ctx
+
+    @abstractmethod
+    def broadcast(self, round_index: int) -> int | None:
+        """The message to broadcast this round (``None`` = stay silent)."""
+
+    @abstractmethod
+    def receive(self, round_index: int, messages: list[int]) -> None:
+        """Handle the (unordered, unattributed) neighbour messages."""
+
+    @property
+    def finished(self) -> bool:
+        """Whether this node has terminated (default: never)."""
+        return False
+
+    def output(self) -> object:
+        """The node's final output."""
+        return None
+
+
+class CongestAlgorithm(ABC):
+    """A per-node CONGEST algorithm.
+
+    Nodes may send distinct messages to distinct neighbours, addressed by
+    neighbour ID, and receive messages attributed by sender ID.
+    """
+
+    def setup(self, ctx: NodeContext) -> None:
+        """Install the node context (called once before round 0)."""
+        self.ctx = ctx
+
+    @abstractmethod
+    def send(self, round_index: int) -> Mapping[int, int]:
+        """Messages to send this round, keyed by destination neighbour ID.
+
+        Omitted neighbours receive nothing from this node this round.
+        """
+
+    @abstractmethod
+    def receive(self, round_index: int, messages: Mapping[int, int]) -> None:
+        """Handle this round's messages, keyed by sender ID."""
+
+    @property
+    def finished(self) -> bool:
+        """Whether this node has terminated (default: never)."""
+        return False
+
+    def output(self) -> object:
+        """The node's final output."""
+        return None

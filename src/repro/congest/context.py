@@ -1,0 +1,49 @@
+"""Per-node execution context handed to message-passing algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["NodeContext"]
+
+
+@dataclass
+class NodeContext:
+    """Everything a node knows before the first communication round.
+
+    Attributes
+    ----------
+    index:
+        The node's position ``0..n-1`` in the topology (an engine handle;
+        algorithms should treat :attr:`node_id` as the distributed
+        identifier).
+    node_id:
+        The node's unique identifier.
+    num_nodes:
+        The network size ``n`` (standard CONGEST assumption).
+    max_degree:
+        The maximum degree ``Δ`` (assumed known, as in the paper's
+        simulation statements).
+    degree:
+        The node's own degree.
+    message_bits:
+        Per-round message bit budget (``γ log n``).
+    rng:
+        The node's private randomness stream.
+    neighbor_ids:
+        IDs of the node's neighbours.  Populated by the native CONGEST
+        engine (KT1-style knowledge); for Broadcast CONGEST algorithms this
+        is ``None`` — neighbour IDs must be learned by broadcasting, as
+        Algorithm 3 does in its first round.
+    """
+
+    index: int
+    node_id: int
+    num_nodes: int
+    max_degree: int
+    degree: int
+    message_bits: int
+    rng: np.random.Generator
+    neighbor_ids: list[int] | None = field(default=None)

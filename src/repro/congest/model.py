@@ -1,0 +1,109 @@
+"""Message discipline for the CONGEST models.
+
+Messages are non-negative integers bounded by the model's per-round bit
+budget (``γ log n`` in the paper).  :class:`MessageCodec` packs structured
+protocol messages — tags, IDs, sampled values — into single integers with
+explicit per-field widths, which keeps algorithms honest about their
+``O(log n)``-bit claims: a codec's total width is checked against the
+budget at network construction time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..errors import ConfigurationError, MessageSizeError
+
+__all__ = ["required_bits", "check_message", "MessageCodec"]
+
+
+def required_bits(num_values: int) -> int:
+    """Bits needed to represent values in ``[0, num_values)`` (min 1)."""
+    if num_values < 1:
+        raise ConfigurationError(f"num_values must be >= 1, got {num_values}")
+    return max(1, math.ceil(math.log2(num_values)))
+
+
+def check_message(message: int, message_bits: int) -> None:
+    """Raise :class:`MessageSizeError` unless the message fits the budget."""
+    if not isinstance(message, (int,)) or isinstance(message, bool):
+        raise MessageSizeError(
+            f"messages must be plain ints, got {type(message).__name__}"
+        )
+    if message < 0:
+        raise MessageSizeError(f"messages must be non-negative, got {message}")
+    if message >> message_bits:
+        raise MessageSizeError(
+            f"message {message} needs more than the {message_bits}-bit budget"
+        )
+
+
+class MessageCodec:
+    """Packs named fixed-width fields into a single CONGEST message.
+
+    >>> codec = MessageCodec([("tag", 2), ("node", 7), ("value", 20)])
+    >>> value = codec.pack(tag=1, node=42, value=31337)
+    >>> codec.unpack(value) == {"tag": 1, "node": 42, "value": 31337}
+    True
+
+    Fields are packed little-endian: the first field occupies the lowest
+    bits.  :attr:`width` is the total bit budget the codec consumes.
+    """
+
+    def __init__(self, fields: Sequence[tuple[str, int]]) -> None:
+        if not fields:
+            raise ConfigurationError("codec needs at least one field")
+        names = [name for name, _ in fields]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate field names in {names}")
+        for name, width in fields:
+            if width < 1:
+                raise ConfigurationError(
+                    f"field {name!r} must be at least 1 bit wide, got {width}"
+                )
+        self._fields = [(str(name), int(width)) for name, width in fields]
+        self._width = sum(width for _, width in self._fields)
+
+    @property
+    def width(self) -> int:
+        """Total bits consumed by a packed message."""
+        return self._width
+
+    @property
+    def field_names(self) -> list[str]:
+        """Field names in packing order."""
+        return [name for name, _ in self._fields]
+
+    def pack(self, **values: int) -> int:
+        """Pack field values into a message integer."""
+        expected = set(self.field_names)
+        provided = set(values)
+        if provided != expected:
+            raise ConfigurationError(
+                f"codec fields are {sorted(expected)}, got {sorted(provided)}"
+            )
+        message = 0
+        shift = 0
+        for name, width in self._fields:
+            value = values[name]
+            if not 0 <= value < (1 << width):
+                raise MessageSizeError(
+                    f"field {name!r} value {value} does not fit in {width} bits"
+                )
+            message |= value << shift
+            shift += width
+        return message
+
+    def unpack(self, message: int) -> Mapping[str, int]:
+        """Unpack a message integer into its field values."""
+        if message < 0 or message >> self._width:
+            raise MessageSizeError(
+                f"message {message} is not a valid {self._width}-bit packing"
+            )
+        values: dict[str, int] = {}
+        shift = 0
+        for name, width in self._fields:
+            values[name] = (message >> shift) & ((1 << width) - 1)
+            shift += width
+        return values

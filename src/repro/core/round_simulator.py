@@ -1,0 +1,286 @@
+"""Algorithm 1: simulating one Broadcast CONGEST round with noisy beeps.
+
+The full round protocol of Section 3:
+
+1. every node ``v`` with a message picks ``r_v`` uniformly at random;
+2. phase 1 (``b`` beeping rounds): ``v`` beeps the bits of ``C(r_v)``;
+3. phase 2 (``b`` beeping rounds): ``v`` beeps the bits of ``CD(r_v, m_v)``;
+4. every node decodes its neighbours' codeword set from the phase-1
+   superimposition (Lemmas 8–9) and then each neighbour's message from the
+   phase-2 subsequences (Lemma 10).
+
+The returned :class:`RoundOutcome` carries both the decoded messages (which
+downstream algorithms consume, right or wrong — simulation fidelity is part
+of what the experiments measure) and ground-truth diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..beeping.batch import run_schedule
+from ..beeping.noise import NoiseModel, NoiselessChannel, BernoulliNoise
+from ..codes import CombinedCode
+from ..errors import ConfigurationError
+from ..graphs import Topology
+from ..rng import derive_rng, derive_seed, random_bits
+from .decoder import phase1_decode, phase2_decode
+from .encoder import build_phase_schedules
+from .parameters import CandidatePolicy, SimulationParameters
+
+__all__ = ["RoundOutcome", "simulate_broadcast_round", "make_channel_for"]
+
+#: Exhaustive candidate scans are exponential; refuse beyond this size.
+_EXHAUSTIVE_LIMIT_BITS = 22
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """Result of simulating one Broadcast CONGEST round.
+
+    Attributes
+    ----------
+    decoded:
+        Per node, the decoded neighbour messages as a sorted list (a
+        multiset: two neighbours sending equal messages appear twice).
+    per_node_success:
+        Per node, whether the decoded multiset equals the true one.
+    success:
+        Whether every node decoded perfectly.
+    beep_rounds_used:
+        Beeping rounds consumed (``2b``).
+    phase1_errors:
+        Nodes whose accepted codeword set differed from the truth.
+    phase2_errors:
+        Nodes with correct phase 1 but a wrong decoded message multiset.
+    r_collision:
+        Whether two transmitting nodes drew identical random strings.
+    accepted_sets:
+        Per node, the accepted phase-1 candidate values (own value
+        removed) — diagnostic view of ``R̃_v``.
+    """
+
+    decoded: list[list[int]]
+    per_node_success: np.ndarray
+    success: bool
+    beep_rounds_used: int
+    phase1_errors: int
+    phase2_errors: int
+    r_collision: bool
+    accepted_sets: list[set[int]]
+
+
+def make_channel_for(params: SimulationParameters, seed: int) -> NoiseModel:
+    """The channel implied by the parameters' noise rate."""
+    if params.eps == 0.0:
+        return NoiselessChannel()
+    return BernoulliNoise(params.eps, seed=derive_seed(seed, "channel"))
+
+
+def simulate_broadcast_round(
+    topology: Topology,
+    messages: Sequence[int | None],
+    params: SimulationParameters,
+    seed: int,
+    round_offset: int = 0,
+    policy: CandidatePolicy = CandidatePolicy.ORACLE_WITH_DECOYS,
+    num_decoys: int = 16,
+    channel: NoiseModel | None = None,
+    codes: CombinedCode | None = None,
+) -> RoundOutcome:
+    """Run Algorithm 1 once and decode every node's neighbour messages.
+
+    Parameters
+    ----------
+    topology:
+        The network (its max degree must not exceed ``params.max_degree``).
+    messages:
+        Per node, the ``B``-bit message to broadcast, or ``None`` to stay
+        silent this round.
+    params:
+        Code parameters.
+    seed:
+        Master seed; the per-round randomness is derived from
+        ``(seed, round_offset)`` so consecutive rounds are independent.
+    round_offset:
+        Global beeping-round number at which this simulated round starts
+        (keys both noise and the per-round random strings).
+    policy, num_decoys:
+        Candidate enumeration policy (see DESIGN.md §2.2).
+    channel:
+        Override the noise channel (defaults to the one implied by
+        ``params.eps``).
+    codes:
+        Reuse a previously built code pair (saves cache warm-up when
+        simulating many rounds).
+    """
+    n = topology.num_nodes
+    if len(messages) != n:
+        raise ConfigurationError(f"got {len(messages)} messages for {n} nodes")
+    if topology.max_degree > params.max_degree:
+        raise ConfigurationError(
+            f"topology degree {topology.max_degree} exceeds parameter "
+            f"max_degree {params.max_degree}"
+        )
+    for message in messages:
+        if message is not None and (
+            message < 0 or message >> params.message_bits
+        ):
+            raise ConfigurationError(
+                f"message {message} does not fit in {params.message_bits} bits"
+            )
+    if codes is None:
+        codes = params.combined_code(derive_seed(seed, "codes"))
+    if channel is None:
+        channel = make_channel_for(params, seed)
+
+    # Step 1: every participating node draws r_v uniformly at random.
+    round_rng = derive_rng(seed, "round-randomness", round_offset)
+    r_space = 1 << params.r_bits
+    r_values = [int(value) for value in _draw_r_values(round_rng, n, r_space)]
+    participating = [messages[v] is not None for v in range(n)]
+
+    # Steps 2-3: the two oblivious beeping phases.
+    phase1_schedule, phase2_schedule = build_phase_schedules(
+        codes, r_values, messages
+    )
+    b = codes.length
+    heard1 = run_schedule(topology, phase1_schedule, channel, start_round=round_offset)
+    heard2 = run_schedule(
+        topology, phase2_schedule, channel, start_round=round_offset + b
+    )
+
+    # Candidate enumeration per the chosen policy.
+    in_flight = sorted({r_values[v] for v in range(n) if participating[v]})
+    candidates = _candidate_set(
+        policy, in_flight, r_space, params.r_bits, num_decoys, round_rng
+    )
+
+    # Step 4a: phase-1 decoding (Lemma 9 threshold test).
+    accepted_raw = phase1_decode(codes.beep_code, heard1, candidates, params.eps)
+    accepted: list[set[int]] = []
+    for v in range(n):
+        own = {r_values[v]} if participating[v] else set()
+        accepted.append(accepted_raw[v] - own)
+
+    # Ground truth for diagnostics.
+    true_sets = [
+        {r_values[int(u)] for u in topology.neighbors[v] if participating[int(u)]}
+        for v in range(n)
+    ]
+    phase1_errors = sum(accepted[v] != true_sets[v] for v in range(n))
+    transmitted = [r_values[v] for v in range(n) if participating[v]]
+    r_collision = len(set(transmitted)) != len(transmitted)
+
+    # Step 4b: phase-2 decoding (nearest distance codeword).
+    message_candidates = sorted(
+        {messages[v] for v in range(n) if participating[v]}  # type: ignore[arg-type]
+    )
+    if policy is CandidatePolicy.ORACLE_WITH_DECOYS and message_candidates:
+        message_candidates = _with_message_decoys(
+            message_candidates, params.message_bits, num_decoys, round_rng
+        )
+    if policy is CandidatePolicy.EXHAUSTIVE:
+        if params.message_bits > _EXHAUSTIVE_LIMIT_BITS:
+            raise ConfigurationError(
+                "exhaustive policy limited to small message spaces"
+            )
+        message_candidates = list(range(1 << params.message_bits))
+    decoded_maps = (
+        phase2_decode(codes, heard2, accepted, message_candidates)
+        if message_candidates
+        else [dict() for _ in range(n)]
+    )
+
+    decoded = [
+        sorted(entry.message for entry in decoded_maps[v].values())
+        for v in range(n)
+    ]
+    truth = [
+        sorted(
+            messages[int(u)]  # type: ignore[arg-type]
+            for u in topology.neighbors[v]
+            if participating[int(u)]
+        )
+        for v in range(n)
+    ]
+    per_node_success = np.asarray(
+        [decoded[v] == truth[v] for v in range(n)], dtype=bool
+    )
+    phase2_errors = sum(
+        1
+        for v in range(n)
+        if accepted[v] == true_sets[v] and not per_node_success[v]
+    )
+    return RoundOutcome(
+        decoded=decoded,
+        per_node_success=per_node_success,
+        success=bool(per_node_success.all()),
+        beep_rounds_used=2 * b,
+        phase1_errors=phase1_errors,
+        phase2_errors=phase2_errors,
+        r_collision=r_collision,
+        accepted_sets=accepted,
+    )
+
+
+def _draw_r_values(
+    rng: np.random.Generator, count: int, r_space: int
+) -> list[int]:
+    """Draw each node's random string as an integer in ``[0, 2^a)``.
+
+    ``a`` routinely exceeds 63 bits, so values come from
+    :func:`repro.rng.random_bits` rather than ``Generator.integers``.
+    """
+    bits = (r_space - 1).bit_length() if r_space > 1 else 1
+    return [random_bits(rng, bits) for _ in range(count)]
+
+
+def _candidate_set(
+    policy: CandidatePolicy,
+    in_flight: list[int],
+    r_space: int,
+    r_bits: int,
+    num_decoys: int,
+    rng: np.random.Generator,
+) -> list[int]:
+    if policy is CandidatePolicy.EXHAUSTIVE:
+        if r_bits > _EXHAUSTIVE_LIMIT_BITS:
+            raise ConfigurationError(
+                f"exhaustive policy limited to r_bits <= {_EXHAUSTIVE_LIMIT_BITS}, "
+                f"got {r_bits}"
+            )
+        return list(range(r_space))
+    if policy is CandidatePolicy.IN_FLIGHT:
+        return list(in_flight)
+    in_flight_set = set(in_flight)
+    decoys: set[int] = set()
+    while len(decoys) < num_decoys:
+        draw = int.from_bytes(rng.bytes(max(1, (r_bits + 7) // 8)), "little")
+        draw &= r_space - 1
+        if draw not in in_flight_set:
+            decoys.add(draw)
+    return sorted(in_flight_set | decoys)
+
+
+def _with_message_decoys(
+    message_candidates: list[int],
+    message_bits: int,
+    num_decoys: int,
+    rng: np.random.Generator,
+) -> list[int]:
+    space = 1 << message_bits
+    existing = set(message_candidates)
+    budget = min(num_decoys, space - len(existing))
+    attempts = 0
+    while budget > 0 and attempts < 20 * num_decoys:
+        draw = int.from_bytes(rng.bytes(max(1, (message_bits + 7) // 8)), "little")
+        draw &= space - 1
+        attempts += 1
+        if draw not in existing:
+            existing.add(draw)
+            budget -= 1
+    return sorted(existing)

@@ -1,0 +1,204 @@
+"""Theorem 11 / Corollary 12: running message-passing algorithms on beeps.
+
+:class:`BeepSimulator` drives per-node Broadcast CONGEST algorithms exactly
+like :class:`~repro.congest.BroadcastCongestNetwork`, except every
+communication round is realised by Algorithm 1 on the (noisy) beeping
+substrate.  Nodes consume whatever they *decoded* — when a simulated round
+fails (a low-probability event), downstream state diverges exactly as it
+would on a real network, which is what the end-to-end experiments measure.
+
+CONGEST algorithms run through :class:`~repro.core.congest_wrapper.
+CongestViaBroadcast` at the additional ``Δ``-factor of Corollary 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..congest.algorithm import BroadcastCongestAlgorithm, CongestAlgorithm
+from ..congest.context import NodeContext
+from ..congest.model import check_message
+from ..errors import ConfigurationError
+from ..graphs import Topology
+from ..rng import derive_rng, derive_seed
+from .congest_wrapper import CongestViaBroadcast
+from .parameters import CandidatePolicy, SimulationParameters
+from .round_simulator import make_channel_for, simulate_broadcast_round
+from .stats import SimulationStats
+
+__all__ = ["TranspiledRunResult", "BeepSimulator"]
+
+
+@dataclass(frozen=True)
+class TranspiledRunResult:
+    """Outcome of a full simulated execution.
+
+    Attributes
+    ----------
+    outputs:
+        Per-node algorithm outputs.
+    finished:
+        Whether every node terminated within the round budget.
+    stats:
+        Round/failure accounting, including the measured overhead (beeping
+        rounds per simulated round — the Theorem 11 quantity).
+    """
+
+    outputs: list[object]
+    finished: bool
+    stats: SimulationStats
+
+
+class BeepSimulator:
+    """Runs Broadcast CONGEST / CONGEST algorithms over a beeping network.
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    params:
+        Code parameters; defaults to
+        :meth:`SimulationParameters.for_network` with practical constants
+        for the given noise rate.
+    eps:
+        Channel noise rate (used only when ``params`` is omitted).
+    seed:
+        Master seed for codes, noise, and per-node local randomness.
+    ids:
+        Node identifiers (default ``0..n-1``).
+    policy, num_decoys:
+        Candidate enumeration policy for the decoders.
+    gamma:
+        Message-size multiplier ``γ`` when deriving default parameters.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: SimulationParameters | None = None,
+        eps: float = 0.0,
+        seed: int = 0,
+        ids: Sequence[int] | None = None,
+        policy: CandidatePolicy = CandidatePolicy.ORACLE_WITH_DECOYS,
+        num_decoys: int = 16,
+        gamma: int = 4,
+    ) -> None:
+        n = topology.num_nodes
+        if n < 2:
+            raise ConfigurationError("simulation needs at least 2 nodes")
+        if params is None:
+            params = SimulationParameters.for_network(
+                num_nodes=n,
+                max_degree=topology.max_degree,
+                eps=eps,
+                gamma=gamma,
+            )
+        if ids is None:
+            ids = list(range(n))
+        if len(ids) != n or len(set(ids)) != n:
+            raise ConfigurationError("ids must be unique, one per node")
+        self._topology = topology
+        self._params = params
+        self._seed = seed
+        self._ids = list(ids)
+        self._policy = policy
+        self._num_decoys = num_decoys
+        self._codes = params.combined_code(derive_seed(seed, "codes"))
+        self._channel = make_channel_for(params, seed)
+
+    @property
+    def params(self) -> SimulationParameters:
+        """The code parameters in force."""
+        return self._params
+
+    @property
+    def topology(self) -> Topology:
+        """The network topology."""
+        return self._topology
+
+    def run_broadcast_congest(
+        self,
+        algorithms: Sequence[BroadcastCongestAlgorithm],
+        max_rounds: int,
+    ) -> TranspiledRunResult:
+        """Simulate a Broadcast CONGEST execution end-to-end (Theorem 11)."""
+        n = self._topology.num_nodes
+        if len(algorithms) != n:
+            raise ConfigurationError(f"got {len(algorithms)} algorithms for {n} nodes")
+        for index, algorithm in enumerate(algorithms):
+            algorithm.setup(self._context(index))
+        stats = SimulationStats()
+        round_offset = 0
+        for round_index in range(max_rounds):
+            if all(a.finished for a in algorithms):
+                break
+            broadcasts: list[int | None] = []
+            for algorithm in algorithms:
+                message = None if algorithm.finished else algorithm.broadcast(round_index)
+                if message is not None:
+                    check_message(message, self._params.message_bits)
+                broadcasts.append(message)
+            outcome = simulate_broadcast_round(
+                self._topology,
+                broadcasts,
+                self._params,
+                seed=self._seed,
+                round_offset=round_offset,
+                policy=self._policy,
+                num_decoys=self._num_decoys,
+                channel=self._channel,
+                codes=self._codes,
+            )
+            round_offset += outcome.beep_rounds_used
+            stats.record_round(
+                beep_rounds=outcome.beep_rounds_used,
+                success=outcome.success,
+                phase1_errors=outcome.phase1_errors,
+                phase2_errors=outcome.phase2_errors,
+                r_collision=outcome.r_collision,
+            )
+            for index, algorithm in enumerate(algorithms):
+                if not algorithm.finished:
+                    algorithm.receive(round_index, list(outcome.decoded[index]))
+        return TranspiledRunResult(
+            outputs=[a.output() for a in algorithms],
+            finished=all(a.finished for a in algorithms),
+            stats=stats,
+        )
+
+    def run_congest(
+        self,
+        algorithms: Sequence[CongestAlgorithm],
+        max_rounds: int,
+        payload_bits: int | None = None,
+    ) -> TranspiledRunResult:
+        """Simulate a CONGEST execution via Corollary 12.
+
+        Each CONGEST round costs ``Δ`` simulated Broadcast CONGEST rounds
+        (plus one initial ID-discovery round); ``max_rounds`` counts
+        *CONGEST* rounds.
+        """
+        wrapped = [
+            CongestViaBroadcast(
+                algorithm,
+                ids=self._ids,
+                payload_bits=payload_bits,
+                message_bits=self._params.message_bits,
+            )
+            for algorithm in algorithms
+        ]
+        bc_budget = 1 + max_rounds * max(1, self._topology.max_degree)
+        return self.run_broadcast_congest(wrapped, bc_budget)
+
+    def _context(self, index: int) -> NodeContext:
+        return NodeContext(
+            index=index,
+            node_id=self._ids[index],
+            num_nodes=self._topology.num_nodes,
+            max_degree=self._topology.max_degree,
+            degree=int(self._topology.degrees[index]),
+            message_bits=self._params.message_bits,
+            rng=derive_rng(self._seed, "node-local", index),
+            neighbor_ids=None,
+        )

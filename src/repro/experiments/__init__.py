@@ -1,0 +1,16 @@
+"""Experiment harness: one module per reproduced claim (see DESIGN.md §3).
+
+Run from the command line::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments e06        # run one
+    python -m repro.experiments all        # run everything (slow)
+
+Each experiment function returns one or more :class:`Table` objects; the
+benchmarks in ``benchmarks/`` time the same entry points.
+"""
+
+from .table import Table
+from .registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = ["Table", "EXPERIMENTS", "get_experiment", "list_experiments"]

@@ -1,0 +1,82 @@
+"""A2 (ablation) — the (2ε+1)/4 phase-1 acceptance threshold.
+
+Lemma 9 places the acceptance threshold at ``(2ε+1)/4`` of the codeword
+weight: far enough above the expected noise on a *present* codeword's ones
+(``ε·weight``) and far enough below the residual intersection of an
+*absent* codeword (``≈ (1 - 5/c)·weight`` minus noise).  This ablation
+replaces the factor with a sweep and measures both error arms, showing
+the paper's choice sits in the operating valley between false rejections
+(threshold too low) and false acceptances (threshold too high).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import bitstrings as bs
+from ..codes import BeepCode
+from ..rng import derive_rng
+from .table import Table
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0) -> list[Table]:
+    """Sweep the threshold factor; count false accepts/rejects directly."""
+    eps = 0.2
+    code = BeepCode(input_bits=8, k=4, c=5, seed=seed)
+    paper_factor = (2 * eps + 1) / 4
+    table = Table(
+        title="A2: phase-1 threshold factor ablation (Lemma 9)",
+        headers=[
+            "factor",
+            "threshold",
+            "false rejects",
+            "false accepts",
+            "total errors",
+            "paper's factor",
+        ],
+        notes=[
+            f"eps = {eps}, beep code (8, 4, 1/5); 'factor' scales the "
+            "codeword weight; paper uses (2*eps+1)/4 = "
+            f"{paper_factor:.3f}",
+        ],
+    )
+    trials = 30 if quick else 150
+    rng = derive_rng(seed, "a02")
+    factors = [0.15, 0.25, paper_factor, 0.45, 0.60, 0.80]
+    # Pre-generate noisy superimpositions and membership ground truth.
+    cases: list[tuple[set[int], np.ndarray]] = []
+    for _ in range(trials):
+        members = {
+            int(v) for v in rng.choice(code.num_codewords, size=4, replace=False)
+        }
+        union = bs.superimpose([code.encode_int(v) for v in sorted(members)])
+        noisy = union ^ (rng.random(code.length) < eps)
+        cases.append((members, noisy))
+    candidates = list(range(0, code.num_codewords, 3))  # fixed scan set
+
+    for factor in factors:
+        threshold = int(factor * code.weight)
+        false_rejects = 0
+        false_accepts = 0
+        for members, noisy in cases:
+            not_heard = bs.complement(noisy)
+            for candidate in candidates:
+                statistic = bs.intersection_weight(
+                    code.encode_int(candidate), not_heard
+                )
+                accepted = statistic < threshold
+                if candidate in members and not accepted:
+                    false_rejects += 1
+                if candidate not in members and accepted:
+                    false_accepts += 1
+        table.add_row(
+            round(factor, 3),
+            threshold,
+            false_rejects,
+            false_accepts,
+            false_rejects + false_accepts,
+            abs(factor - paper_factor) < 1e-9,
+        )
+    return [table]

@@ -1,0 +1,73 @@
+"""E2 — Theorem 4: beep-code decodability.
+
+Samples random size-``k`` codeword subsets and measures what fraction are
+*bad* (their superimposition ``5δ²b/k``-intersects some other codeword),
+against Definition 3's ``2^{-2a}`` budget.  Also verifies the constant-
+weight property on every sampled codeword.
+"""
+
+from __future__ import annotations
+
+from .. import bitstrings
+from ..codes import BeepCode
+from ..rng import derive_rng
+from .table import Table
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0) -> list[Table]:
+    """Sweep (a, k, c) and measure the bad-subset fraction."""
+    table = Table(
+        title="E2: beep code (a,k,1/c) decodability (Thm 4 / Def 3)",
+        headers=[
+            "a",
+            "k",
+            "c",
+            "length",
+            "weight",
+            "threshold",
+            "subsets",
+            "bad",
+            "bad fraction",
+            "2^-2a budget",
+            "weights ok",
+        ],
+        notes=[
+            "bad = superimposition of the k-subset 5*delta^2*b/k-intersects "
+            "another codeword (checked against the full 2^a domain)",
+        ],
+    )
+    combos = [(6, 2, 3), (6, 4, 3), (6, 2, 4), (6, 4, 4)]
+    if not quick:
+        combos += [(8, 4, 4), (8, 8, 4), (8, 4, 6), (10, 6, 6)]
+    subsets_per_combo = 60 if quick else 200
+    rng = derive_rng(seed, "e02")
+    for a, k, c in combos:
+        code = BeepCode(input_bits=a, k=k, c=c, seed=seed)
+        domain = code.num_codewords
+        subsets = []
+        for _ in range(subsets_per_combo):
+            subsets.append(
+                [int(v) for v in rng.choice(domain, size=k, replace=False)]
+            )
+        others = list(range(domain)) if domain <= 1 << 12 else None
+        bad = code.count_bad_subsets(subsets, others=others)
+        weights_ok = all(
+            bitstrings.weight(code.encode_int(v)) == code.weight
+            for v in range(min(domain, 128))
+        )
+        table.add_row(
+            a,
+            k,
+            c,
+            code.length,
+            code.weight,
+            code.intersection_threshold,
+            subsets_per_combo,
+            bad,
+            bad / subsets_per_combo,
+            code.failure_fraction_bound(),
+            weights_ok,
+        )
+    return [table]

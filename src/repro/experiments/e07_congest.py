@@ -1,0 +1,107 @@
+"""E7 — Corollary 12: CONGEST simulation at O(Δ² log n) overhead.
+
+Runs a one-round all-neighbour exchange CONGEST algorithm through the
+Corollary 12 wrapper over noisy beeps, measuring beeping rounds per CONGEST
+round against the ``Δ² B`` predictor, and verifying the exchanged values
+arrive intact.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..congest.algorithm import CongestAlgorithm
+from ..core.parameters import SimulationParameters
+from ..core.transpiler import BeepSimulator
+from ..graphs import Topology, random_regular_graph
+from .table import Table
+
+__all__ = ["run", "NeighborExchange"]
+
+
+class NeighborExchange(CongestAlgorithm):
+    """Sends a distinct value to each neighbour, collects what arrives.
+
+    Node ``v`` sends ``(v * 7 + u) mod 2^payload`` to neighbour ``u`` — a
+    per-edge-distinct payload, so any misrouting is visible in the output.
+    """
+
+    def __init__(self, payload_bits: int) -> None:
+        self._payload_bits = payload_bits
+        self._received: dict[int, int] = {}
+        self._done = False
+
+    def expected_payload(self, sender: int, receiver: int) -> int:
+        """The value ``sender`` should deliver to ``receiver``."""
+        return (sender * 7 + receiver) % (1 << self._payload_bits)
+
+    def send(self, round_index: int) -> Mapping[int, int]:
+        if round_index > 0:
+            return {}
+        return {
+            u: self.expected_payload(self.ctx.node_id, u)
+            for u in (self.ctx.neighbor_ids or [])
+        }
+
+    def receive(self, round_index: int, messages: Mapping[int, int]) -> None:
+        self._received.update(messages)
+        self._done = True
+
+    @property
+    def finished(self) -> bool:
+        return self._done
+
+    def output(self) -> dict[int, int]:
+        return dict(self._received)
+
+
+def run(quick: bool = True, seed: int = 0) -> list[Table]:
+    """Sweep Δ; measure beep rounds per CONGEST round vs Δ²B."""
+    table = Table(
+        title="E7: CONGEST via Broadcast CONGEST over beeps (Cor 12)",
+        headers=[
+            "n",
+            "Delta",
+            "B",
+            "beep rounds / CONGEST round",
+            "ratio to Delta^2*B",
+            "exchange intact",
+            "failed sim rounds",
+        ],
+        notes=[
+            "one CONGEST round costs (1 + Delta) simulated BC rounds "
+            "(ID announcement amortises over longer runs)",
+        ],
+    )
+    eps = 0.05
+    n = 12 if quick else 24
+    deltas = [2, 3] if quick else [2, 3, 4, 6]
+    payload_bits = 5
+    for delta in deltas:
+        topology = Topology(random_regular_graph(n, delta, seed=seed))
+        params = SimulationParameters.for_network(n, delta, eps=eps, gamma=4)
+        simulator = BeepSimulator(topology, params=params, seed=seed)
+        algorithms = [NeighborExchange(payload_bits) for _ in range(n)]
+        result = simulator.run_congest(
+            algorithms, max_rounds=1, payload_bits=payload_bits
+        )
+        intact = all(
+            result.outputs[v]
+            == {
+                int(u): algorithms[v].expected_payload(int(u), v)
+                for u in topology.neighbors[v]
+            }
+            for v in range(n)
+        )
+        beep_rounds = result.stats.beep_rounds
+        predictor = delta * delta * params.message_bits
+        table.add_row(
+            n,
+            delta,
+            params.message_bits,
+            beep_rounds,
+            beep_rounds / predictor,
+            intact,
+            result.stats.failed_rounds,
+        )
+    return [table]

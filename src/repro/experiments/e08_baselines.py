@@ -1,0 +1,131 @@
+"""E8 — Section 1.3: overhead comparison against prior simulations.
+
+Races the paper's simulator against the two implemented baselines
+(Beauquier-style noiseless TDMA, AGL-style noisy TDMA with repetition) and
+the naive sequential simulator, on one simulated Broadcast CONGEST round at
+matched message size and noise.  The paper's improvement factor
+``Θ(min{n/Δ, Δ})`` over [4] should emerge as Δ grows.
+"""
+
+from __future__ import annotations
+
+from ..baselines import (
+    agl_repetitions,
+    greedy_distance2_coloring,
+    simulate_round_naive,
+    simulate_round_tdma,
+)
+from ..beeping.noise import BernoulliNoise, NoiselessChannel
+from ..core.parameters import SimulationParameters
+from ..core.round_simulator import simulate_broadcast_round
+from ..graphs import Topology, random_regular_graph
+from ..rng import derive_rng, derive_seed
+from .table import Table
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0) -> list[Table]:
+    """Compare measured per-round overheads at matched (n, Δ, B, ε)."""
+    eps = 0.1
+    n = 24 if quick else 48
+    deltas = [2, 3, 4] if quick else [2, 3, 4, 6, 8]
+    table = Table(
+        title="E8: measured overhead per simulated round, ours vs baselines",
+        headers=[
+            "n",
+            "Delta",
+            "B",
+            "colors",
+            "ours",
+            "AGL TDMA",
+            "naive",
+            "AGL/ours",
+            "ours ok",
+            "AGL ok",
+        ],
+        notes=[
+            f"eps = {eps}; AGL repetition rho = 4*log2(n); baseline setup "
+            "costs (Delta^6 / Delta^4 log n) excluded - see E15",
+        ],
+    )
+    message_rng = derive_rng(seed, "e08-messages")
+    for delta in deltas:
+        topology = Topology(random_regular_graph(n, delta, seed=seed))
+        params = SimulationParameters.for_network(n, delta, eps=eps, gamma=1)
+        message_bits = params.message_bits
+        messages = [
+            int(message_rng.integers(0, 1 << message_bits)) for _ in range(n)
+        ]
+        ours = simulate_broadcast_round(
+            topology, messages, params, seed=seed
+        )
+        coloring = greedy_distance2_coloring(topology)
+        num_colors = max(coloring) + 1
+        rho = agl_repetitions(n, eps)
+        channel = BernoulliNoise(eps, seed=derive_seed(seed, "e08-noise", delta))
+        agl = simulate_round_tdma(
+            topology,
+            messages,
+            coloring,
+            message_bits,
+            channel=channel,
+            repetitions=rho,
+        )
+        naive = simulate_round_naive(
+            topology,
+            messages,
+            message_bits,
+            channel=channel,
+            repetitions=rho,
+        )
+        table.add_row(
+            n,
+            delta,
+            message_bits,
+            num_colors,
+            ours.beep_rounds_used,
+            agl.beep_rounds_used,
+            naive.beep_rounds_used,
+            agl.beep_rounds_used / ours.beep_rounds_used,
+            ours.success,
+            agl.success,
+        )
+
+    noiseless = Table(
+        title="E8b: noiseless regime (Beauquier-style TDMA, rho = 1)",
+        headers=["n", "Delta", "B", "ours", "TDMA", "TDMA/ours", "both ok"],
+    )
+    for delta in deltas:
+        topology = Topology(random_regular_graph(n, delta, seed=seed))
+        params = SimulationParameters.for_network(n, delta, eps=0.0, gamma=1)
+        message_bits = params.message_bits
+        messages = [
+            int(message_rng.integers(0, 1 << message_bits)) for _ in range(n)
+        ]
+        ours = simulate_broadcast_round(topology, messages, params, seed=seed)
+        coloring = greedy_distance2_coloring(topology)
+        tdma = simulate_round_tdma(
+            topology,
+            messages,
+            coloring,
+            message_bits,
+            channel=NoiselessChannel(),
+            repetitions=1,
+        )
+        noiseless.add_row(
+            n,
+            delta,
+            message_bits,
+            ours.beep_rounds_used,
+            tdma.beep_rounds_used,
+            tdma.beep_rounds_used / ours.beep_rounds_used,
+            ours.success and tdma.success,
+        )
+        # Document the analytic slot count for reference.
+    noiseless.notes.append(
+        "TDMA rounds = colors*(B+1); at practical constants the TDMA "
+        "baseline can beat ours for small Delta - the paper's advantage is "
+        "asymptotic in Delta (colors ~ Delta^2) and in removing setup"
+    )
+    return [table, noiseless]

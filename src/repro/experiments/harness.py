@@ -1,0 +1,67 @@
+"""Command-line harness: run reproduction experiments and print tables.
+
+Usage::
+
+    python -m repro.experiments               # list experiments
+    python -m repro.experiments e06 e08       # run selected, quick mode
+    python -m repro.experiments all --full    # the full (slow) sweeps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from .registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the paper's tables and figures (DESIGN.md 3)",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e01..e15) or 'all'; empty lists experiments",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full parameter sweeps instead of the quick ones",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master seed (default 0)"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.experiments:
+        print("available experiments:")
+        for key, description in list_experiments():
+            print(f"  {key}  {description}")
+        print("run with: python -m repro.experiments <id>|all [--full]")
+        return 0
+
+    selected = list(args.experiments)
+    if len(selected) == 1 and selected[0].lower() == "all":
+        selected = sorted(EXPERIMENTS)
+
+    for experiment_id in selected:
+        runner = get_experiment(experiment_id)
+        started = time.perf_counter()
+        tables = runner(quick=not args.full, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        for table in tables:
+            print()
+            print(table.render())
+        print(f"\n[{experiment_id} completed in {elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

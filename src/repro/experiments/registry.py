@@ -1,0 +1,82 @@
+"""Registry mapping experiment ids to their entry points."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+from . import (
+    a01_constant_calibration,
+    a02_decoding_threshold,
+    a03_candidate_policies,
+    e01_combined_code,
+    e02_beep_code,
+    e03_distance_code,
+    e04_phase1,
+    e05_phase2,
+    e06_overhead,
+    e07_congest,
+    e08_baselines,
+    e09_local_broadcast,
+    e10_lower_bound,
+    e11_matching_congest,
+    e12_matching_beeps,
+    e13_matching_lb,
+    e14_code_lengths,
+    e15_landscape,
+    e16_polylog_contrast,
+)
+from .table import Table
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
+
+#: id -> (runner, one-line description).  Runners take (quick, seed) and
+#: return a list of Tables.
+EXPERIMENTS: dict[str, tuple[Callable[..., list[Table]], str]] = {
+    "e01": (e01_combined_code.run, "Figure 1: combined-code construction"),
+    "e02": (e02_beep_code.run, "Theorem 4: beep-code decodability"),
+    "e03": (e03_distance_code.run, "Lemma 6: distance-code minimum distance"),
+    "e04": (e04_phase1.run, "Lemmas 8-9: phase-1 set recovery under noise"),
+    "e05": (e05_phase2.run, "Lemma 10: phase-2 message recovery"),
+    "e06": (e06_overhead.run, "Theorem 11: O(Delta log n) overhead"),
+    "e07": (e07_congest.run, "Corollary 12: CONGEST at O(Delta^2 log n)"),
+    "e08": (e08_baselines.run, "Section 1.3: ours vs TDMA baselines"),
+    "e09": (e09_local_broadcast.run, "Lemma 15: Local Broadcast upper bounds"),
+    "e10": (e10_lower_bound.run, "Lemma 14: Omega(Delta^2 B) lower bound"),
+    "e11": (e11_matching_congest.run, "Lemmas 17-20: matching in BC"),
+    "e12": (e12_matching_beeps.run, "Theorem 21: matching over noisy beeps"),
+    "e13": (e13_matching_lb.run, "Theorem 22: matching lower bound"),
+    "e14": (e14_code_lengths.run, "Section 1.4: code-length comparison"),
+    "e15": (e15_landscape.run, "Sections 1.2-1.3: overhead landscape"),
+    "e16": (
+        e16_polylog_contrast.run,
+        "Section 7: polylog MIS vs poly-Delta matching",
+    ),
+    "a01": (
+        a01_constant_calibration.run,
+        "Ablation: practical constant c calibration",
+    ),
+    "a02": (
+        a02_decoding_threshold.run,
+        "Ablation: the (2e+1)/4 phase-1 threshold",
+    ),
+    "a03": (
+        a03_candidate_policies.run,
+        "Ablation: candidate-set decoding policies",
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., list[Table]]:
+    """Return the runner for an experiment id (e.g. ``"e06"``)."""
+    key = experiment_id.lower()
+    if key not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key][0]
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """All (id, description) pairs in order."""
+    return [(key, description) for key, (_, description) in EXPERIMENTS.items()]

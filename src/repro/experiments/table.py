@@ -1,0 +1,76 @@
+"""Plain-text result tables for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["Table"]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled, aligned text table.
+
+    Attributes
+    ----------
+    title:
+        Table caption, conventionally naming the paper claim it reproduces.
+    headers:
+        Column names.
+    rows:
+        Row tuples (formatted via ``str``/float rules on render).
+    notes:
+        Free-text lines printed under the table.
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the header count)."""
+        if len(values) != len(self.headers):
+            raise ConfigurationError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        cells = [list(self.headers)] + [
+            [_format_cell(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[column]) for row in cells)
+            for column in range(len(self.headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header_line = "  ".join(
+            header.ljust(width) for header, width in zip(cells[0], widths)
+        )
+        lines.append(header_line)
+        lines.append("-" * len(header_line))
+        for row in cells[1:]:
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,50 @@
+"""Network topology generators and graph utilities.
+
+Graphs are exchanged as :class:`networkx.Graph` objects with nodes labelled
+``0..n-1``; :class:`Topology` converts them into the CSR adjacency form the
+simulators execute on.
+"""
+
+from .topology import Topology
+from .generators import (
+    complete_bipartite_with_isolated,
+    complete_graph,
+    cycle_graph,
+    disk_graph,
+    gnp_graph,
+    grid_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+    balanced_tree_graph,
+)
+from .validation import (
+    assert_valid_topology,
+    max_degree,
+    relabel_consecutive,
+)
+from .hard_instances import (
+    LocalBroadcastInstance,
+    local_broadcast_hard_instance,
+    matching_hard_instance,
+)
+
+__all__ = [
+    "Topology",
+    "complete_bipartite_with_isolated",
+    "complete_graph",
+    "cycle_graph",
+    "disk_graph",
+    "gnp_graph",
+    "grid_graph",
+    "path_graph",
+    "random_regular_graph",
+    "star_graph",
+    "balanced_tree_graph",
+    "assert_valid_topology",
+    "max_degree",
+    "relabel_consecutive",
+    "LocalBroadcastInstance",
+    "local_broadcast_hard_instance",
+    "matching_hard_instance",
+]

@@ -1,0 +1,160 @@
+"""Topology generators for experiments and tests.
+
+All generators return :class:`networkx.Graph` objects with nodes labelled
+``0..n-1``, ready for :class:`repro.graphs.Topology`.  Randomised generators
+take an explicit ``seed`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+from ..rng import derive_rng
+
+__all__ = [
+    "complete_bipartite_with_isolated",
+    "complete_graph",
+    "cycle_graph",
+    "disk_graph",
+    "gnp_graph",
+    "grid_graph",
+    "path_graph",
+    "random_regular_graph",
+    "star_graph",
+    "balanced_tree_graph",
+]
+
+
+def complete_bipartite_with_isolated(delta: int, n: int) -> nx.Graph:
+    """The paper's hard-instance topology (Lemma 14): ``K_{Δ,Δ}`` plus
+    ``n - 2Δ`` isolated vertices.
+
+    Nodes ``0..delta-1`` form the left part ``L``, ``delta..2*delta-1`` the
+    right part ``R``, and the remainder are isolated.  The graph has ``n``
+    vertices and maximum degree ``Δ = delta``.
+    """
+    if delta < 1:
+        raise ConfigurationError(f"delta must be >= 1, got {delta}")
+    if n < 2 * delta:
+        raise ConfigurationError(
+            f"need n >= 2*delta to embed K_(d,d); got n={n}, delta={delta}"
+        )
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for left in range(delta):
+        for right in range(delta, 2 * delta):
+            graph.add_edge(left, right)
+    return graph
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """The complete graph ``K_n``."""
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    return nx.complete_graph(n)
+
+
+def path_graph(n: int) -> nx.Graph:
+    """A path on ``n`` nodes (diameter ``n - 1``)."""
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    return nx.path_graph(n)
+
+
+def cycle_graph(n: int) -> nx.Graph:
+    """A cycle on ``n`` nodes (``n >= 3``)."""
+    if n < 3:
+        raise ConfigurationError(f"cycle needs n >= 3, got {n}")
+    return nx.cycle_graph(n)
+
+
+def star_graph(n: int) -> nx.Graph:
+    """A star: node 0 is the hub, connected to ``n - 1`` leaves (``Δ = n-1``)."""
+    if n < 1:
+        raise ConfigurationError(f"star needs n >= 1, got {n}")
+    return nx.star_graph(n - 1)
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """A ``rows x cols`` 2-D grid, relabelled to ``0..rows*cols-1``.
+
+    A standard stand-in for a planar sensor deployment (``Δ <= 4``).
+    """
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("grid dimensions must be >= 1")
+    grid = nx.grid_2d_graph(rows, cols)
+    mapping = {(r, c): r * cols + c for r in range(rows) for c in range(cols)}
+    return nx.relabel_nodes(grid, mapping)
+
+
+def balanced_tree_graph(branching: int, height: int) -> nx.Graph:
+    """A balanced ``branching``-ary tree of the given height."""
+    if branching < 1 or height < 0:
+        raise ConfigurationError("tree needs branching >= 1 and height >= 0")
+    return nx.balanced_tree(branching, height)
+
+
+def gnp_graph(n: int, p: float, seed: int) -> nx.Graph:
+    """An Erdős–Rényi ``G(n, p)`` graph."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"edge probability must be in [0, 1], got {p}")
+    rng = derive_rng(seed, "gnp", n, p)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for u in range(n):
+        draws = rng.random(n - u - 1)
+        for offset, draw in enumerate(draws):
+            if draw < p:
+                graph.add_edge(u, u + 1 + offset)
+    return graph
+
+
+def random_regular_graph(n: int, degree: int, seed: int) -> nx.Graph:
+    """A uniformly random ``degree``-regular simple graph on ``n`` nodes.
+
+    Requires ``n * degree`` even and ``degree < n``.  Regular graphs give
+    experiments a sharply controlled ``Δ``.
+    """
+    if degree >= n or (n * degree) % 2 != 0:
+        raise ConfigurationError(
+            f"no {degree}-regular graph on {n} nodes (need degree < n and n*degree even)"
+        )
+    return nx.random_regular_graph(degree, n, seed=derive_seed_int(seed, n, degree))
+
+
+def disk_graph(n: int, radius: float, seed: int, connect: bool = False) -> nx.Graph:
+    """A random geometric (unit-disk) graph on the unit square.
+
+    Models a physical sensor field: ``n`` devices dropped uniformly at
+    random, with a link whenever two devices are within ``radius``.  With
+    ``connect=True``, the largest connected component is additionally wired
+    into a chain so global primitives (beep waves) can be demonstrated.
+    """
+    if radius <= 0:
+        raise ConfigurationError(f"radius must be positive, got {radius}")
+    rng = derive_rng(seed, "disk", n, radius)
+    points = rng.random((n, 2))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for v in range(n):
+        graph.nodes[v]["pos"] = (float(points[v, 0]), float(points[v, 1]))
+    radius_sq = radius * radius
+    for u in range(n):
+        diff = points[u + 1 :] - points[u]
+        close = (diff * diff).sum(axis=1) <= radius_sq
+        for offset in close.nonzero()[0]:
+            graph.add_edge(u, u + 1 + int(offset))
+    if connect and n > 1:
+        components = [sorted(c) for c in nx.connected_components(graph)]
+        components.sort(key=lambda c: c[0])
+        for first, second in zip(components, components[1:]):
+            graph.add_edge(first[0], second[0])
+    return graph
+
+
+def derive_seed_int(seed: int, *context: object) -> int:
+    """Derive a plain int seed for networkx generators (internal helper)."""
+    from ..rng import derive_seed
+
+    return derive_seed(seed, "nx", *context) % (2**32)

@@ -1,0 +1,97 @@
+"""Lower-bound hard instances from Section 5 and Theorem 22 of the paper.
+
+Lemma 14 proves the Ω(Δ²B) local-broadcast lower bound on ``K_{Δ,Δ}`` plus
+isolated vertices, with uniformly random ``B``-bit messages on left-to-right
+edges and all other messages zero.  Theorem 22 proves the Ω(Δ log n)
+maximal-matching bound on ``K_{Δ,Δ}`` with IDs drawn from ``[n⁴]``.  This
+module constructs those exact distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+from ..rng import derive_rng
+from .generators import complete_bipartite_with_isolated
+
+__all__ = [
+    "LocalBroadcastInstance",
+    "local_broadcast_hard_instance",
+    "matching_hard_instance",
+]
+
+
+@dataclass(frozen=True)
+class LocalBroadcastInstance:
+    """An input instance of B-bit Local Broadcast (Definition 13).
+
+    Attributes
+    ----------
+    graph:
+        The network topology.
+    message_bits:
+        The message size ``B``.
+    ids:
+        ``ids[v]`` is node ``v``'s unique identifier in ``[n]``.
+    messages:
+        ``messages[(v, u)]`` is the ``B``-bit message ``m_{v→u}`` node ``v``
+        must deliver to its neighbour ``u``, as an integer in ``[0, 2^B)``.
+    """
+
+    graph: nx.Graph
+    message_bits: int
+    ids: dict[int, int]
+    messages: dict[tuple[int, int], int] = field(repr=False)
+
+    def expected_output(self, v: int) -> set[tuple[int, int]]:
+        """The set ``{(ID_u, m_{u→v})}`` node ``v`` must output."""
+        return {
+            (self.ids[u], self.messages[(u, v)]) for u in self.graph.neighbors(v)
+        }
+
+
+def local_broadcast_hard_instance(
+    delta: int, n: int, message_bits: int, seed: int
+) -> LocalBroadcastInstance:
+    """The hard distribution of Lemma 14.
+
+    ``K_{Δ,Δ}`` plus ``n - 2Δ`` isolated vertices; messages from left nodes
+    to right nodes are independent uniform ``B``-bit strings, every other
+    message is the all-zeros string.  IDs are ``0..n-1`` (the lemma fixes
+    them arbitrarily).
+    """
+    if message_bits < 1:
+        raise ConfigurationError(f"message_bits must be >= 1, got {message_bits}")
+    graph = complete_bipartite_with_isolated(delta, n)
+    rng = derive_rng(seed, "lb-local-broadcast", delta, n, message_bits)
+    ids = {v: v for v in range(n)}
+    messages: dict[tuple[int, int], int] = {}
+    for left in range(delta):
+        for right in range(delta, 2 * delta):
+            messages[(left, right)] = int(rng.integers(0, 2**message_bits))
+            messages[(right, left)] = 0
+    return LocalBroadcastInstance(
+        graph=graph, message_bits=message_bits, ids=ids, messages=messages
+    )
+
+
+def matching_hard_instance(delta: int, n: int, seed: int) -> tuple[nx.Graph, dict[int, int]]:
+    """The hard ensemble of Theorem 22: ``K_{Δ,Δ}`` with random IDs in ``[n⁴]``.
+
+    Returns ``(graph, ids)`` where the graph is ``K_{Δ,Δ}`` on nodes
+    ``0..2Δ-1`` and ``ids[v]`` is drawn independently uniformly from
+    ``[n⁴]``.  ID collisions (probability ``O(Δ²/n⁴)``) are resampled, as
+    the theorem conditions on unique IDs.
+    """
+    if n < 2 * delta:
+        raise ConfigurationError(f"need n >= 2*delta, got n={n}, delta={delta}")
+    graph = complete_bipartite_with_isolated(delta, 2 * delta)
+    rng = derive_rng(seed, "lb-matching", delta, n)
+    id_space = n**4
+    while True:
+        draws = [int(rng.integers(0, id_space)) for _ in range(2 * delta)]
+        if len(set(draws)) == 2 * delta:
+            return graph, {v: draws[v] for v in range(2 * delta)}

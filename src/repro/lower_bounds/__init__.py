@@ -1,0 +1,25 @@
+"""Lower-bound machinery from Section 5 and Theorem 22.
+
+Transcript-counting calculators for the Ω(Δ²B) local-broadcast bound
+(Lemma 14) and the Ω(Δ log n) maximal-matching bound (Theorem 22), plus an
+empirical demonstration of the counting argument on the hard instances.
+"""
+
+from .counting import (
+    local_broadcast_round_bound,
+    local_broadcast_success_bound,
+    matching_round_bound,
+    matching_success_bound,
+    simulation_overhead_bounds,
+)
+from .experiments import TranscriptCensus, transcript_census
+
+__all__ = [
+    "local_broadcast_round_bound",
+    "local_broadcast_success_bound",
+    "matching_round_bound",
+    "matching_success_bound",
+    "simulation_overhead_bounds",
+    "TranscriptCensus",
+    "transcript_census",
+]

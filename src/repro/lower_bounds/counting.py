@@ -1,0 +1,92 @@
+"""Transcript-counting bounds (Lemma 14, Corollary 16, Theorem 22).
+
+The arguments are information-theoretic: on the hard instance ``K_{Δ,Δ}``
+all right-part nodes hear the same beep/silence pattern, so an ``r``-round
+execution has at most ``2^r`` transcripts, while the required outputs span
+``2^{Δ²B}`` (local broadcast) or ``≈ n^{3Δ}`` (matching) possibilities.
+These functions compute the exact bound values the proofs derive.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "local_broadcast_round_bound",
+    "local_broadcast_success_bound",
+    "matching_round_bound",
+    "matching_success_bound",
+    "simulation_overhead_bounds",
+]
+
+
+def local_broadcast_round_bound(delta: int, message_bits: int) -> int:
+    """Lemma 14: any beeping algorithm for B-bit Local Broadcast with
+    success probability above ``2^{-Δ²B/2}`` needs more than
+    ``Δ²B/2`` rounds."""
+    if delta < 1 or message_bits < 1:
+        raise ConfigurationError("delta and message_bits must be >= 1")
+    return (delta * delta * message_bits) // 2
+
+
+def local_broadcast_success_bound(
+    rounds: int, delta: int, message_bits: int
+) -> float:
+    """Lemma 14's success-probability cap ``2^{T - Δ²B}`` for a ``T``-round
+    algorithm (capped at 1)."""
+    if rounds < 0:
+        raise ConfigurationError("rounds must be >= 0")
+    exponent = rounds - delta * delta * message_bits
+    if exponent >= 0:
+        return 1.0
+    return 2.0**exponent
+
+
+def matching_round_bound(delta: int, num_nodes: int) -> int:
+    """Theorem 22: maximal matching on ``K_{Δ,Δ}`` (IDs from ``[n⁴]``)
+    needs more than ``Δ log₂ n`` rounds for constant success probability."""
+    if delta < 1 or num_nodes < 2:
+        raise ConfigurationError("delta >= 1 and num_nodes >= 2 required")
+    return math.floor(delta * math.log2(num_nodes))
+
+
+def matching_success_bound(rounds: int, delta: int, num_nodes: int) -> float:
+    """Theorem 22's cap ``2^r / n^{3Δ}`` on the success probability of an
+    ``r``-round matching algorithm on the hard ensemble (capped at 1)."""
+    if rounds < 0:
+        raise ConfigurationError("rounds must be >= 0")
+    log_bound = rounds - 3 * delta * math.log2(num_nodes)
+    if log_bound >= 0:
+        return 1.0
+    return 2.0**log_bound
+
+
+def simulation_overhead_bounds(
+    delta: int, num_nodes: int, gamma: int = 1
+) -> tuple[float, float]:
+    """Corollary 16: lower bounds on simulation overhead.
+
+    Returns ``(broadcast_congest, congest)`` per-round overhead lower
+    bounds, ``Ω(Δ log n)`` and ``Ω(Δ² log n)``, instantiated with leading
+    constant 1/2 from the Lemma 14 + Lemma 15 combination:
+
+    * local broadcast with ``B = γ log n`` needs ``> Δ²B/2`` beep rounds,
+    * but only ``Δ⌈B/log n⌉ = Δγ`` Broadcast CONGEST rounds
+      (``⌈B/log n⌉ = γ`` CONGEST rounds),
+
+    so simulating one Broadcast CONGEST round needs ``≥ Δ log n / 2``
+    beep rounds, and one CONGEST round ``≥ Δ² log n / 2``.
+    """
+    if delta < 1 or num_nodes < 2:
+        raise ConfigurationError("delta >= 1 and num_nodes >= 2 required")
+    log_n = math.log2(num_nodes)
+    message_bits = gamma * log_n
+    beep_rounds_needed = delta * delta * message_bits / 2.0
+    bc_rounds = delta * gamma
+    congest_rounds = gamma
+    return (
+        beep_rounds_needed / bc_rounds,
+        beep_rounds_needed / congest_rounds,
+    )

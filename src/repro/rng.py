@@ -1,0 +1,86 @@
+"""Deterministic, hierarchical random-number generation.
+
+Distributed protocols in this library need two kinds of randomness:
+
+* **Shared randomness** — e.g. the beep code ``C`` and distance code ``D`` of
+  the paper are public objects known to every node.  They are derived from a
+  single experiment seed plus a string context, so every node (and every
+  re-run) sees the same code.
+* **Local randomness** — each node's private coins (the random string ``r_v``
+  in Algorithm 1, Luby's edge values, ...).  These are derived from the same
+  experiment seed plus the node identifier, making whole experiments exactly
+  reproducible while keeping per-node streams statistically independent.
+
+Both are built on :func:`derive_rng`, a counter-mode PRF construction: the
+seed material and context are hashed with SHA-256, and the digest keys a
+Philox generator.  Philox is used (rather than the default PCG64) because
+keyed construction from arbitrary 128-bit material is part of its design.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["derive_rng", "derive_seed", "spawn_rngs", "random_bits"]
+
+
+def random_bits(rng: np.random.Generator, bits: int) -> int:
+    """Sample a uniform integer in ``[0, 2^bits)`` for any bit width.
+
+    ``Generator.integers`` is limited to 64-bit bounds; protocol values
+    (e.g. the paper's ``x(e) ∈ [n⁹]`` samples and the random strings
+    ``r_v``) routinely exceed that, so values are assembled from raw bytes
+    and masked down to the requested width.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    raw = int.from_bytes(rng.bytes((bits + 7) // 8), "little")
+    return raw & ((1 << bits) - 1)
+
+
+def _context_digest(seed: int, context: Iterable[object]) -> bytes:
+    """Hash ``seed`` and a context tuple into 32 bytes of key material."""
+    hasher = hashlib.sha256()
+    hasher.update(int(seed).to_bytes(16, "little", signed=True))
+    for part in context:
+        encoded = repr(part).encode("utf-8")
+        hasher.update(len(encoded).to_bytes(4, "little"))
+        hasher.update(encoded)
+    return hasher.digest()
+
+
+def derive_seed(seed: int, *context: object) -> int:
+    """Derive a 63-bit integer sub-seed from ``seed`` and a context tuple.
+
+    The derivation is stable across processes and Python versions (it does
+    not use ``hash()``).
+    """
+    digest = _context_digest(seed, context)
+    return int.from_bytes(digest[:8], "little") >> 1
+
+
+def derive_rng(seed: int, *context: object) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` keyed by ``seed`` + context.
+
+    Calls with equal arguments return generators producing identical
+    streams; distinct contexts give statistically independent streams.
+
+    >>> derive_rng(7, "beep-code", 3).integers(100) == \\
+    ...     derive_rng(7, "beep-code", 3).integers(100)
+    True
+    """
+    digest = _context_digest(seed, context)
+    key = np.frombuffer(digest[:16], dtype=np.uint64)
+    return np.random.Generator(np.random.Philox(key=key))
+
+
+def spawn_rngs(seed: int, count: int, *context: object) -> list[np.random.Generator]:
+    """Return ``count`` independent generators under a shared context.
+
+    Convenience for per-node local randomness: ``spawn_rngs(seed, n,
+    "local")[v]`` is node ``v``'s private stream.
+    """
+    return [derive_rng(seed, *context, index) for index in range(count)]

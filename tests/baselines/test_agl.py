@@ -1,0 +1,99 @@
+"""Tests for the AGL-style full TDMA simulator and overhead formulas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    TDMABroadcastSimulator,
+    agl_overhead,
+    agl_repetitions,
+    agl_setup,
+    beauquier_overhead,
+    beauquier_setup,
+    ours_broadcast_overhead,
+    ours_congest_overhead,
+)
+from repro.errors import ConfigurationError
+from repro.graphs import Topology, random_regular_graph
+from tests.core.test_transpiler import GossipSum
+
+
+class TestRepetitions:
+    def test_noiseless_is_one(self):
+        assert agl_repetitions(100, 0.0) == 1
+
+    def test_noisy_scales_with_log_n(self):
+        assert agl_repetitions(256, 0.1) == 4 * 8
+
+    def test_beta_scales(self):
+        assert agl_repetitions(256, 0.1, beta=2) == 16
+
+
+class TestSimulator:
+    def test_matches_native_execution(self, regular12):
+        from repro.congest import BroadcastCongestNetwork
+
+        native = BroadcastCongestNetwork(regular12, message_bits=6).run(
+            [GossipSum() for _ in range(12)], max_rounds=10
+        )
+        simulator = TDMABroadcastSimulator(
+            regular12, message_bits=6, eps=0.0, seed=1
+        )
+        simulated = simulator.run_broadcast_congest(
+            [GossipSum() for _ in range(12)], max_rounds=10
+        )
+        assert simulated.outputs == native.outputs
+        assert simulated.stats.failed_rounds == 0
+
+    def test_noisy_with_repetition(self, regular12):
+        simulator = TDMABroadcastSimulator(
+            regular12, message_bits=6, eps=0.1, seed=1
+        )
+        result = simulator.run_broadcast_congest(
+            [GossipSum() for _ in range(12)], max_rounds=10
+        )
+        assert result.finished
+        assert result.stats.failed_rounds == 0
+
+    def test_overhead_property(self, regular12):
+        simulator = TDMABroadcastSimulator(
+            regular12, message_bits=6, eps=0.0, seed=1
+        )
+        assert simulator.overhead == simulator.num_colors * 7
+        result = simulator.run_broadcast_congest(
+            [GossipSum(horizon=2) for _ in range(12)], max_rounds=10
+        )
+        assert result.stats.overhead == simulator.overhead
+
+    def test_too_small_rejected(self):
+        from repro.graphs import path_graph
+
+        with pytest.raises(ConfigurationError):
+            TDMABroadcastSimulator(Topology(path_graph(1)), message_bits=4)
+
+
+class TestFormulas:
+    def test_values_at_reference_point(self):
+        # n = 256 (log n = 8), Delta = 16
+        assert beauquier_setup(256, 16) == 16**6
+        assert beauquier_overhead(256, 16) == 16**4 * 8
+        assert agl_setup(256, 16) == 16**4 * 8
+        assert agl_overhead(256, 16) == 16 * 8 * 256  # min{n, 256} = n
+        assert ours_broadcast_overhead(256, 16) == 16 * 8
+        assert ours_congest_overhead(256, 16) == 256 * 8
+
+    def test_min_term_switches(self):
+        # for Delta^2 < n, the min picks Delta^2
+        assert agl_overhead(2**12, 16) == 16 * 12 * 256
+
+    def test_improvement_factor(self):
+        # paper: Theta(min{n/Delta, Delta}) improvement over [4]
+        n, delta = 2**12, 16
+        assert agl_overhead(n, delta) / ours_congest_overhead(n, delta) == delta
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ours_broadcast_overhead(1, 4)
+        with pytest.raises(ConfigurationError):
+            agl_overhead(16, 0)

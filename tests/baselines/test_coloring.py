@@ -1,0 +1,68 @@
+"""Tests for the greedy distance-2 colouring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import greedy_distance2_coloring
+from repro.graphs import (
+    Topology,
+    complete_graph,
+    gnp_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+def assert_distance2(topology: Topology, colors: list[int]) -> None:
+    for v in range(topology.num_nodes):
+        for u in topology.neighbors[v]:
+            u = int(u)
+            assert colors[u] != colors[v], f"edge ({v},{u}) monochromatic"
+            for w in topology.neighbors[u]:
+                w = int(w)
+                if w != v:
+                    assert colors[w] != colors[v], f"{v} and {w} share {u}"
+
+
+class TestGreedyDistance2:
+    @pytest.mark.parametrize(
+        "topology_factory",
+        [
+            lambda: Topology(path_graph(10)),
+            lambda: Topology(star_graph(7)),
+            lambda: Topology(grid_graph(4, 5)),
+            lambda: Topology(complete_graph(6)),
+            lambda: Topology(gnp_graph(25, 0.2, seed=3)),
+        ],
+    )
+    def test_validity(self, topology_factory):
+        topology = topology_factory()
+        colors = greedy_distance2_coloring(topology)
+        assert_distance2(topology, colors)
+
+    def test_color_count_bound(self):
+        topology = Topology(gnp_graph(30, 0.15, seed=5))
+        colors = greedy_distance2_coloring(topology)
+        delta = topology.max_degree
+        assert max(colors) + 1 <= delta * delta + 1
+
+    def test_path_uses_three_colors(self):
+        topology = Topology(path_graph(9))
+        colors = greedy_distance2_coloring(topology)
+        assert max(colors) + 1 == 3
+
+    def test_star_needs_n_colors(self):
+        # all leaves are within distance 2 of each other
+        topology = Topology(star_graph(6))
+        colors = greedy_distance2_coloring(topology)
+        assert len(set(colors)) == 6
+
+    def test_edgeless_graph_single_color(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(5))
+        colors = greedy_distance2_coloring(Topology(graph))
+        assert set(colors) == {0}

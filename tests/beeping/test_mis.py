@@ -1,0 +1,113 @@
+"""Tests for the native beeping-model MIS (Section 7 / Afek et al. [1])."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms import check_mis
+from repro.beeping import BeepingMISProtocol, beeping_mis
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    Topology,
+    complete_graph,
+    cycle_graph,
+    gnp_graph,
+    grid_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+)
+from repro.rng import derive_rng
+
+
+GRAPHS = [
+    ("path", lambda: Topology(path_graph(10))),
+    ("cycle", lambda: Topology(cycle_graph(11))),
+    ("star", lambda: Topology(star_graph(9))),
+    ("complete", lambda: Topology(complete_graph(8))),
+    ("grid", lambda: Topology(grid_graph(4, 5))),
+    ("gnp", lambda: Topology(gnp_graph(36, 0.15, seed=4))),
+    ("regular", lambda: Topology(random_regular_graph(28, 5, seed=5))),
+]
+
+
+class TestValidity:
+    @pytest.mark.parametrize("name,factory", GRAPHS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_output_is_valid_mis(self, name, factory, seed):
+        topology = factory()
+        result = beeping_mis(topology, seed=seed)
+        assert all(value is not None for value in result.in_mis), name
+        ok, reason = check_mis(topology, result.in_mis)
+        assert ok, f"{name}: {reason}"
+
+    def test_isolated_nodes_join(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        graph.add_edge(0, 1)
+        result = beeping_mis(Topology(graph), seed=0)
+        assert result.in_mis[2] and result.in_mis[3]
+
+    def test_empty_network(self):
+        import networkx as nx
+
+        result = beeping_mis(Topology(nx.Graph()), seed=0)
+        assert result.in_mis == []
+        assert result.rounds_used == 0
+
+    def test_complete_graph_exactly_one(self):
+        topology = Topology(complete_graph(9))
+        result = beeping_mis(topology, seed=3)
+        assert sum(bool(v) for v in result.in_mis) == 1
+
+
+class TestComplexity:
+    def test_rounds_stay_within_polylog_budget_across_delta(self):
+        """The Section 7 contrast: native MIS stays within its O(log^2 n)
+        budget at every density, where matching costs Omega(Delta log n)
+        (denser graphs may take a couple more knockout phases, but the
+        phase count is bounded by O(log n) independent of Delta)."""
+        log_n = math.ceil(math.log2(20))
+        for delta in (3, 6, 9):
+            topology = Topology(random_regular_graph(20, delta, seed=1))
+            result = beeping_mis(topology, seed=1)
+            ok, _ = check_mis(topology, result.in_mis)
+            assert ok
+            assert result.phases_used <= 2 * log_n
+
+    def test_phase_budget_generous(self):
+        topology = Topology(gnp_graph(64, 0.1, seed=2))
+        result = beeping_mis(topology, seed=2)
+        log_n = math.ceil(math.log2(64))
+        assert result.phases_used <= 8 * log_n + 8
+
+    def test_deterministic_under_seed(self):
+        topology = Topology(gnp_graph(24, 0.2, seed=1))
+        a = beeping_mis(topology, seed=9)
+        b = beeping_mis(topology, seed=9)
+        assert a.in_mis == b.in_mis
+        assert a.rounds_used == b.rounds_used
+
+
+class TestProtocolUnit:
+    def test_rank_bits_validated(self):
+        with pytest.raises(ConfigurationError):
+            BeepingMISProtocol(0, derive_rng(0, "x"))
+
+    def test_lone_node_decides_true(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_node(0)
+        result = beeping_mis(Topology(graph), seed=0)
+        assert result.in_mis == [True]
+
+    def test_custom_rank_bits(self):
+        topology = Topology(path_graph(6))
+        result = beeping_mis(topology, seed=0, rank_bits=20)
+        ok, _ = check_mis(topology, result.in_mis)
+        assert ok

@@ -1,0 +1,109 @@
+"""Tests for beep-wave broadcast (the O(D + b) primitive of Section 1.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import bitstrings as bs
+from repro.beeping import BernoulliNoise, beep_wave_broadcast
+from repro.errors import ConfigurationError
+from repro.graphs import Topology, grid_graph, path_graph, star_graph
+import networkx as nx
+
+
+class TestNoiselessWaves:
+    def test_path_delivers_and_measures_distance(self):
+        t = Topology(path_graph(8))
+        message = bs.from_bits([1, 0, 1, 1, 0, 0, 1])
+        result = beep_wave_broadcast(t, 0, message)
+        assert result.all_correct(message, set(range(8)))
+        assert result.distances == list(range(8))
+
+    def test_mid_path_source(self):
+        t = Topology(path_graph(7))
+        message = bs.from_bits([1, 1, 0, 1])
+        result = beep_wave_broadcast(t, 3, message)
+        assert result.all_correct(message, set(range(7)))
+        assert result.distances == [3, 2, 1, 0, 1, 2, 3]
+
+    def test_grid(self):
+        t = Topology(grid_graph(4, 5))
+        message = bs.from_bits([0, 1, 1, 0, 1])
+        result = beep_wave_broadcast(t, 0, message)
+        assert result.all_correct(message, set(range(20)))
+
+    def test_star(self):
+        t = Topology(star_graph(6))
+        message = bs.from_bits([1, 0, 1])
+        result = beep_wave_broadcast(t, 0, message)
+        assert result.all_correct(message, set(range(6)))
+
+    def test_all_zero_message(self):
+        t = Topology(path_graph(5))
+        message = bs.zeros(4)
+        result = beep_wave_broadcast(t, 0, message)
+        assert result.all_correct(message, set(range(5)))
+
+    def test_disconnected_nodes_report_unreached(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        graph.add_edge(0, 1)
+        t = Topology(graph)
+        message = bs.from_bits([1, 0])
+        result = beep_wave_broadcast(t, 0, message)
+        assert result.decoded[1] is not None
+        assert result.decoded[2] is None
+        assert result.distances[2] == -1
+
+    def test_rounds_are_o_of_d_plus_b(self):
+        t = Topology(path_graph(10))
+        message = bs.from_bits([1] * 6)
+        result = beep_wave_broadcast(t, 0, message)
+        # 3(b+1) + ecc + 2 = 21 + 9 + 2
+        assert result.rounds_used == 3 * 7 + 9 + 2
+
+
+class TestValidation:
+    def test_bad_source_rejected(self):
+        t = Topology(path_graph(3))
+        with pytest.raises(ConfigurationError):
+            beep_wave_broadcast(t, 5, bs.from_bits([1]))
+
+    def test_bad_repetitions_rejected(self):
+        t = Topology(path_graph(3))
+        with pytest.raises(ConfigurationError):
+            beep_wave_broadcast(t, 0, bs.from_bits([1]), repetitions=0)
+
+
+class TestNoisyWaves:
+    def test_mild_noise_with_repetition_usually_works(self):
+        t = Topology(path_graph(5))
+        message = bs.from_bits([1, 0, 1])
+        successes = 0
+        for seed in range(8):
+            result = beep_wave_broadcast(
+                t,
+                0,
+                message,
+                channel=BernoulliNoise(0.01, seed=seed),
+                repetitions=15,
+            )
+            successes += result.all_correct(message, set(range(5)))
+        assert successes >= 5
+
+    def test_heavy_noise_breaks_waves(self):
+        """Documented limitation: spurious beeps cascade into false waves —
+        exactly the failure mode that motivates the paper's coded approach."""
+        t = Topology(path_graph(6))
+        message = bs.from_bits([1, 0, 1, 1, 0])
+        failures = 0
+        for seed in range(6):
+            result = beep_wave_broadcast(
+                t,
+                0,
+                message,
+                channel=BernoulliNoise(0.1, seed=seed),
+                repetitions=9,
+            )
+            failures += not result.all_correct(message, set(range(6)))
+        assert failures >= 3

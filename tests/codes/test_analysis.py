@@ -1,0 +1,61 @@
+"""Tests for code-length formulas (Section 1.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codes import (
+    KautzSingletonCode,
+    beep_code_length,
+    dyachkov_rykov_lower_bound,
+    kautz_singleton_length,
+)
+from repro.errors import ConfigurationError
+
+
+class TestKautzSingletonLength:
+    def test_matches_construction(self):
+        for a, k in [(4, 2), (8, 3), (12, 4)]:
+            assert kautz_singleton_length(a, k) == KautzSingletonCode(a, k).length
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kautz_singleton_length(0, 2)
+
+
+class TestLowerBound:
+    def test_formula(self):
+        assert dyachkov_rykov_lower_bound(10, 4) == pytest.approx(160 / 2)
+
+    def test_k1_uses_log_floor(self):
+        # log2(max(k,2)) guards k = 1
+        assert dyachkov_rykov_lower_bound(10, 1) == pytest.approx(10.0)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dyachkov_rykov_lower_bound(4, 0)
+
+
+class TestBeepLength:
+    def test_formula(self):
+        assert beep_code_length(5, 3, 4) == 16 * 3 * 5
+
+    def test_linear_in_k_vs_quadratic_ks(self):
+        # The paper's point: beep codes scale linearly in k while strict
+        # superimposed codes scale quadratically.  In the large-k regime
+        # (message length m pinned), quadrupling k roughly 16x's the KS
+        # length but only 4x's the beep-code length.
+        ratio_beep = beep_code_length(16, 128, 3) / beep_code_length(16, 32, 3)
+        ratio_ks = kautz_singleton_length(16, 128) / kautz_singleton_length(16, 32)
+        assert ratio_beep == pytest.approx(4.0)
+        assert ratio_ks > 10.0
+
+    def test_beep_code_eventually_shorter(self):
+        # the crossover the weaker guarantee buys: for large k the beep
+        # code is strictly shorter than any strict superimposed code
+        assert beep_code_length(16, 64, 3) < kautz_singleton_length(16, 64)
+        assert beep_code_length(16, 128, 3) < kautz_singleton_length(16, 128)
+
+    def test_c_below_3_rejected(self):
+        with pytest.raises(ConfigurationError):
+            beep_code_length(4, 2, 2)

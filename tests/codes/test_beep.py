@@ -1,0 +1,171 @@
+"""Tests for (a, k, δ)-beep codes (Definition 3, Theorem 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import bitstrings as bs
+from repro.codes import BeepCode
+from repro.errors import ConfigurationError
+from repro.rng import derive_rng
+
+
+class TestConstruction:
+    def test_theorem4_length(self):
+        code = BeepCode(input_bits=5, k=3, c=4)
+        assert code.length == 4 * 4 * 3 * 5
+
+    def test_weight_is_b_over_ck(self):
+        code = BeepCode(input_bits=5, k=3, c=4)
+        assert code.weight == code.length // (4 * 3)
+        assert code.weight == 4 * 5  # c * a
+
+    def test_intersection_threshold_is_5a(self):
+        code = BeepCode(input_bits=7, k=2, c=3)
+        assert code.intersection_threshold == 5 * 7
+
+    def test_c_below_3_rejected(self):
+        # Theorem 4 notes c <= 2 makes the property vacuous.
+        with pytest.raises(ConfigurationError):
+            BeepCode(input_bits=4, k=2, c=2)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BeepCode(input_bits=4, k=0, c=3)
+
+    def test_custom_length_divisibility(self):
+        BeepCode(input_bits=4, k=2, c=3, length=120)
+        with pytest.raises(ConfigurationError):
+            BeepCode(input_bits=4, k=2, c=3, length=121)
+
+    def test_delta_property(self):
+        assert BeepCode(input_bits=4, k=2, c=4).delta == 0.25
+
+
+class TestEncoding:
+    def test_constant_weight_everywhere(self):
+        code = BeepCode(input_bits=6, k=2, c=3, seed=2)
+        for value in range(0, 64, 7):
+            assert bs.weight(code.encode_int(value)) == code.weight
+
+    def test_deterministic_across_instances(self):
+        a = BeepCode(input_bits=5, k=2, c=3, seed=11)
+        b = BeepCode(input_bits=5, k=2, c=3, seed=11)
+        for value in range(32):
+            assert np.array_equal(a.encode_int(value), b.encode_int(value))
+
+    def test_out_of_domain_rejected(self):
+        code = BeepCode(input_bits=4, k=2, c=3)
+        with pytest.raises(ConfigurationError):
+            code.encode_int(16)
+
+    def test_encode_many_shape(self):
+        code = BeepCode(input_bits=4, k=2, c=3)
+        matrix = code.encode_many([1, 5, 9])
+        assert matrix.shape == (3, code.length)
+        assert np.array_equal(matrix[1], code.encode_int(5))
+
+    def test_encode_many_empty(self):
+        code = BeepCode(input_bits=4, k=2, c=3)
+        assert code.encode_many([]).shape == (0, code.length)
+
+    def test_cache_limit_does_not_change_codewords(self):
+        code = BeepCode(input_bits=10, k=2, c=3, seed=5)
+        code.CACHE_LIMIT = 8  # force evictions
+        first = code.encode_int(123).copy()
+        for value in range(40):
+            code.encode_int(value)
+        assert np.array_equal(code.encode_int(123), first)
+
+
+class TestSuperimpositionDecoding:
+    def test_noiseless_decode_recovers_sets(self):
+        code = BeepCode(input_bits=6, k=3, c=4, seed=1)
+        rng = derive_rng(0, "subset")
+        for _ in range(10):
+            subset = sorted(
+                int(v) for v in rng.choice(code.num_codewords, size=3, replace=False)
+            )
+            union = bs.superimpose([code.encode_int(v) for v in subset])
+            decoded = code.decode_superimposition(union, eps=0.0)
+            assert decoded == set(subset)
+
+    def test_membership_statistic_zero_for_members(self):
+        code = BeepCode(input_bits=5, k=2, c=3, seed=1)
+        union = bs.superimpose([code.encode_int(v) for v in (3, 17)])
+        assert code.membership_statistic(3, union) == 0
+        assert code.membership_statistic(17, union) == 0
+
+    def test_membership_statistic_large_for_nonmembers(self):
+        code = BeepCode(input_bits=6, k=2, c=4, seed=1)
+        union = bs.superimpose([code.encode_int(v) for v in (3, 17)])
+        threshold = code.decoding_threshold(0.0)
+        for outsider in (5, 42, 60):
+            assert code.membership_statistic(outsider, union) >= threshold
+
+    def test_noiseless_membership_test(self):
+        code = BeepCode(input_bits=5, k=2, c=3, seed=1)
+        union = bs.superimpose([code.encode_int(v) for v in (1, 2)])
+        assert code.noiseless_membership_test(1, union)
+        assert not code.noiseless_membership_test(9, union)
+
+    def test_decoding_threshold_formula(self):
+        code = BeepCode(input_bits=5, k=2, c=4, seed=1)
+        # (2*eps+1)/4 * weight
+        assert code.decoding_threshold(0.0) == code.weight // 4
+        assert code.decoding_threshold(0.3) == int(1.6 / 4 * code.weight)
+        with pytest.raises(ConfigurationError):
+            code.decoding_threshold(0.5)
+
+    def test_decode_with_candidates_restricts_scan(self):
+        code = BeepCode(input_bits=6, k=2, c=4, seed=2)
+        union = bs.superimpose([code.encode_int(v) for v in (10, 20)])
+        decoded = code.decode_superimposition(union, candidates=[10, 30])
+        assert decoded == {10}
+
+    def test_noisy_decode_recovers_sets_whp(self):
+        """Decoding under noise is a w.h.p. guarantee, not a certainty:
+        measure the success rate over many independent trials instead of
+        asserting every seed (a rare tail failure is expected behaviour)."""
+        code = BeepCode(input_bits=6, k=3, c=6, seed=3)
+        eps = 0.1
+        successes = 0
+        trials = 40
+        for trial_seed in range(trials):
+            rng = np.random.default_rng(trial_seed)
+            subset = sorted(
+                int(v)
+                for v in rng.choice(code.num_codewords, size=3, replace=False)
+            )
+            union = bs.superimpose([code.encode_int(v) for v in subset])
+            noisy = union ^ (rng.random(code.length) < eps)
+            decoded = code.decode_superimposition(noisy, eps=eps)
+            successes += decoded == set(subset)
+        assert successes >= trials - 2
+
+    def test_wrong_length_rejected(self):
+        code = BeepCode(input_bits=4, k=2, c=3)
+        with pytest.raises(ConfigurationError):
+            code.decode_superimposition(np.zeros(7, dtype=bool))
+
+
+class TestBadSubsetCensus:
+    def test_count_bad_subsets_zero_for_good_code(self):
+        code = BeepCode(input_bits=6, k=2, c=4, seed=0)
+        rng = derive_rng(1, "census")
+        subsets = [
+            [int(v) for v in rng.choice(64, size=2, replace=False)]
+            for _ in range(20)
+        ]
+        assert code.count_bad_subsets(subsets) == 0
+
+    def test_wrong_subset_size_rejected(self):
+        code = BeepCode(input_bits=4, k=2, c=3)
+        with pytest.raises(ConfigurationError):
+            code.count_bad_subsets([[1, 2, 3]])
+
+    def test_failure_fraction_bound(self):
+        code = BeepCode(input_bits=6, k=2, c=3)
+        assert code.failure_fraction_bound() == 2.0**-12

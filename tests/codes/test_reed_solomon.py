@@ -1,0 +1,79 @@
+"""Tests for the GF(p) Reed–Solomon substrate."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.codes import ReedSolomonCode, is_prime, next_prime
+from repro.errors import ConfigurationError
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        primes = [p for p in range(50) if is_prime(p)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+
+    def test_next_prime(self):
+        assert next_prime(10) == 11
+        assert next_prime(11) == 11
+        assert next_prime(0) == 2
+        assert next_prime(24) == 29
+
+
+class TestConstruction:
+    def test_rejects_composite_field(self):
+        with pytest.raises(ConfigurationError):
+            ReedSolomonCode(10, 2)
+
+    def test_rejects_bad_message_length(self):
+        with pytest.raises(ConfigurationError):
+            ReedSolomonCode(7, 0)
+        with pytest.raises(ConfigurationError):
+            ReedSolomonCode(7, 8)
+
+    def test_min_distance_singleton(self):
+        code = ReedSolomonCode(11, 4)
+        assert code.min_distance == 8
+        assert code.num_messages == 11**4
+
+
+class TestEncoding:
+    def test_codeword_length_is_p(self):
+        code = ReedSolomonCode(7, 2)
+        assert len(code.encode_int(13)) == 7
+
+    def test_constant_polynomial(self):
+        code = ReedSolomonCode(7, 2)
+        # message value 3 = coefficients [3, 0] -> constant polynomial 3
+        assert code.encode_symbols([3, 0]) == [3] * 7
+
+    def test_linear_polynomial(self):
+        code = ReedSolomonCode(5, 2)
+        # coefficients [1, 2]: p(x) = 1 + 2x over GF(5)
+        assert code.encode_symbols([1, 2]) == [1, 3, 0, 2, 4]
+
+    def test_int_to_symbols_base_p(self):
+        code = ReedSolomonCode(5, 3)
+        assert code.int_to_symbols(1 + 2 * 5 + 3 * 25) == [1, 2, 3]
+
+    def test_message_out_of_range(self):
+        code = ReedSolomonCode(5, 2)
+        with pytest.raises(ConfigurationError):
+            code.int_to_symbols(25)
+
+    def test_symbols_out_of_field(self):
+        code = ReedSolomonCode(5, 2)
+        with pytest.raises(ConfigurationError):
+            code.encode_symbols([5, 0])
+
+    def test_distance_property_exhaustive_small(self):
+        code = ReedSolomonCode(5, 2)
+        words = [code.encode_int(m) for m in range(code.num_messages)]
+        for a, b in itertools.combinations(range(len(words)), 2):
+            agreement = sum(x == y for x, y in zip(words[a], words[b]))
+            assert agreement <= code.message_symbols - 1
+
+    def test_bits_capacity(self):
+        assert ReedSolomonCode.bits_capacity(5, 3) == 6  # floor(3*log2 5)

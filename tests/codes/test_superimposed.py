@@ -1,0 +1,82 @@
+"""Tests for Kautz–Singleton (a, k)-superimposed codes (Definition 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import bitstrings as bs
+from repro.codes import KautzSingletonCode, is_k_superimposed
+from repro.errors import ConfigurationError
+from repro.rng import derive_rng
+
+
+class TestConstruction:
+    def test_length_is_p_squared(self):
+        code = KautzSingletonCode(input_bits=6, k=2)
+        assert code.length == code.field_size**2
+
+    def test_field_satisfies_cover_free_condition(self):
+        for a, k in [(4, 2), (8, 3), (12, 4), (16, 6)]:
+            code = KautzSingletonCode(a, k)
+            assert code.field_size > k * (code.message_symbols - 1)
+            assert code.field_size**code.message_symbols >= 2**a
+
+    def test_weight_is_p(self):
+        code = KautzSingletonCode(input_bits=6, k=2)
+        for value in range(0, 64, 9):
+            assert bs.weight(code.encode_int(value)) == code.field_size
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KautzSingletonCode(input_bits=4, k=0)
+
+    def test_length_grows_quadratically_in_k(self):
+        lengths = [KautzSingletonCode(8, k).length for k in (2, 4, 8)]
+        assert lengths[1] > lengths[0]
+        assert lengths[2] > 2 * lengths[1]
+
+
+class TestSuperimposedProperty:
+    def test_exhaustive_small_code(self):
+        code = KautzSingletonCode(input_bits=4, k=2)
+        assert is_k_superimposed(code, 2)
+
+    def test_union_decoding_exact(self):
+        code = KautzSingletonCode(input_bits=6, k=3)
+        rng = derive_rng(0, "ks")
+        for _ in range(15):
+            subset = sorted(
+                int(v) for v in rng.choice(code.num_codewords, size=3, replace=False)
+            )
+            union = bs.superimpose([code.encode_int(v) for v in subset])
+            decoded = code.decode_union(union)
+            assert decoded == set(subset)
+
+    def test_decode_union_with_candidates(self):
+        code = KautzSingletonCode(input_bits=4, k=2)
+        union = bs.superimpose([code.encode_int(v) for v in (3, 9)])
+        assert code.decode_union(union, candidates=[3, 5]) == {3}
+
+    def test_decode_union_wrong_length(self):
+        code = KautzSingletonCode(input_bits=4, k=2)
+        with pytest.raises(ConfigurationError):
+            code.decode_union(np.zeros(3, dtype=bool))
+
+    def test_is_k_superimposed_detects_violation(self):
+        class DegenerateCode(KautzSingletonCode):
+            """Codeword 0 forced to all-zeros: covered by anything."""
+
+            def encode_int(self, value):
+                if value == 0:
+                    return np.zeros(self.length, dtype=bool)
+                return super().encode_int(value)
+
+        bad = DegenerateCode(input_bits=4, k=2)
+        assert not is_k_superimposed(bad, 2, messages=[0, 1, 2, 3])
+
+    def test_deterministic(self):
+        a = KautzSingletonCode(input_bits=6, k=2)
+        b = KautzSingletonCode(input_bits=6, k=2)
+        for value in range(0, 64, 5):
+            assert np.array_equal(a.encode_int(value), b.encode_int(value))

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SimulationParameters
+from repro.graphs import (
+    Topology,
+    complete_graph,
+    gnp_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def path6() -> Topology:
+    """A 6-node path (Δ = 2, diameter 5)."""
+    return Topology(path_graph(6))
+
+
+@pytest.fixture
+def star8() -> Topology:
+    """An 8-node star (Δ = 7)."""
+    return Topology(star_graph(8))
+
+
+@pytest.fixture
+def k5() -> Topology:
+    """The complete graph on 5 nodes."""
+    return Topology(complete_graph(5))
+
+
+@pytest.fixture
+def regular12() -> Topology:
+    """A 12-node 3-regular graph."""
+    return Topology(random_regular_graph(12, 3, seed=7))
+
+
+@pytest.fixture
+def sparse20() -> Topology:
+    """A sparse 20-node G(n, p) graph."""
+    return Topology(gnp_graph(20, 0.15, seed=3))
+
+
+@pytest.fixture
+def small_params() -> SimulationParameters:
+    """Compact noiseless parameters for fast simulation tests."""
+    return SimulationParameters(message_bits=6, max_degree=3, eps=0.0, c=3)
+
+
+@pytest.fixture
+def noisy_params() -> SimulationParameters:
+    """Compact noisy parameters (ε = 0.1) for simulation tests."""
+    return SimulationParameters(message_bits=6, max_degree=3, eps=0.1, c=5)

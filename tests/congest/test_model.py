@@ -1,0 +1,95 @@
+"""Tests for message discipline and the field codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.congest import MessageCodec, check_message, required_bits
+from repro.errors import ConfigurationError, MessageSizeError
+
+
+class TestRequiredBits:
+    def test_examples(self):
+        assert required_bits(1) == 1
+        assert required_bits(2) == 1
+        assert required_bits(3) == 2
+        assert required_bits(256) == 8
+        assert required_bits(257) == 9
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            required_bits(0)
+
+
+class TestCheckMessage:
+    def test_accepts_in_budget(self):
+        check_message(255, 8)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(MessageSizeError):
+            check_message(256, 8)
+
+    def test_rejects_negative(self):
+        with pytest.raises(MessageSizeError):
+            check_message(-1, 8)
+
+    def test_rejects_bool_and_non_int(self):
+        with pytest.raises(MessageSizeError):
+            check_message(True, 8)
+        with pytest.raises(MessageSizeError):
+            check_message("5", 8)  # type: ignore[arg-type]
+
+
+class TestMessageCodec:
+    def test_pack_unpack_roundtrip(self):
+        codec = MessageCodec([("tag", 2), ("node", 7), ("value", 20)])
+        message = codec.pack(tag=1, node=42, value=31337)
+        assert codec.unpack(message) == {"tag": 1, "node": 42, "value": 31337}
+
+    def test_width(self):
+        codec = MessageCodec([("a", 3), ("b", 5)])
+        assert codec.width == 8
+
+    def test_little_endian_layout(self):
+        codec = MessageCodec([("low", 4), ("high", 4)])
+        assert codec.pack(low=0xF, high=0x1) == 0x1F
+
+    def test_field_overflow_rejected(self):
+        codec = MessageCodec([("a", 3)])
+        with pytest.raises(MessageSizeError):
+            codec.pack(a=8)
+
+    def test_missing_field_rejected(self):
+        codec = MessageCodec([("a", 3), ("b", 2)])
+        with pytest.raises(ConfigurationError):
+            codec.pack(a=1)
+
+    def test_extra_field_rejected(self):
+        codec = MessageCodec([("a", 3)])
+        with pytest.raises(ConfigurationError):
+            codec.pack(a=1, b=2)
+
+    def test_unpack_overflow_rejected(self):
+        codec = MessageCodec([("a", 3)])
+        with pytest.raises(MessageSizeError):
+            codec.unpack(8)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageCodec([("a", 3), ("a", 2)])
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageCodec([("a", 0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageCodec([])
+
+    @given(st.integers(0, 3), st.integers(0, 127), st.integers(0, 2**20 - 1))
+    def test_roundtrip_property(self, tag, node, value):
+        codec = MessageCodec([("tag", 2), ("node", 7), ("value", 20)])
+        packed = codec.pack(tag=tag, node=node, value=value)
+        assert 0 <= packed < 1 << codec.width
+        assert codec.unpack(packed) == {"tag": tag, "node": node, "value": value}

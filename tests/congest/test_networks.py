@@ -1,0 +1,205 @@
+"""Tests for the native Broadcast CONGEST and CONGEST engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import (
+    BroadcastCongestAlgorithm,
+    BroadcastCongestNetwork,
+    CongestAlgorithm,
+    CongestNetwork,
+)
+from repro.errors import (
+    ConfigurationError,
+    MessageSizeError,
+    ProtocolViolationError,
+)
+from repro.graphs import Topology, path_graph, star_graph
+
+
+class _BroadcastOnce(BroadcastCongestAlgorithm):
+    """Broadcasts its ID once, records what it hears, finishes."""
+
+    def __init__(self):
+        self.inbox: list[int] = []
+        self._done = False
+
+    def broadcast(self, round_index):
+        return self.ctx.node_id if round_index == 0 else None
+
+    def receive(self, round_index, messages):
+        self.inbox.extend(messages)
+        self._done = True
+
+    @property
+    def finished(self):
+        return self._done
+
+    def output(self):
+        return sorted(self.inbox)
+
+
+class _SilentForever(BroadcastCongestAlgorithm):
+    def broadcast(self, round_index):
+        return None
+
+    def receive(self, round_index, messages):
+        pass
+
+
+class _TooBig(BroadcastCongestAlgorithm):
+    def broadcast(self, round_index):
+        return 1 << 60
+
+    def receive(self, round_index, messages):
+        pass
+
+
+class TestBroadcastCongest:
+    def test_neighbors_receive_unattributed_multiset(self):
+        t = Topology(star_graph(4))
+        algorithms = [_BroadcastOnce() for _ in range(4)]
+        result = BroadcastCongestNetwork(t).run(algorithms, max_rounds=3)
+        assert result.finished
+        assert result.outputs[0] == [1, 2, 3]  # hub hears all leaves
+        assert result.outputs[1] == [0]
+
+    def test_rounds_counted_until_finish(self):
+        t = Topology(path_graph(3))
+        result = BroadcastCongestNetwork(t).run(
+            [_BroadcastOnce() for _ in range(3)], max_rounds=10
+        )
+        assert result.rounds_used == 1
+
+    def test_unfinished_run_reports(self):
+        t = Topology(path_graph(3))
+        result = BroadcastCongestNetwork(t).run(
+            [_SilentForever() for _ in range(3)], max_rounds=4
+        )
+        assert not result.finished
+        assert result.rounds_used == 4
+
+    def test_message_size_enforced(self):
+        t = Topology(path_graph(2))
+        with pytest.raises(MessageSizeError):
+            BroadcastCongestNetwork(t, message_bits=8).run(
+                [_TooBig(), _TooBig()], max_rounds=1
+            )
+
+    def test_custom_ids_delivered(self):
+        t = Topology(path_graph(2))
+        network = BroadcastCongestNetwork(t, ids=[10, 99], message_bits=8)
+        algorithms = [_BroadcastOnce(), _BroadcastOnce()]
+        result = network.run(algorithms, max_rounds=2)
+        assert result.outputs == [[99], [10]]
+
+    def test_duplicate_ids_rejected(self):
+        t = Topology(path_graph(2))
+        with pytest.raises(ConfigurationError):
+            BroadcastCongestNetwork(t, ids=[5, 5])
+
+    def test_wrong_algorithm_count_rejected(self):
+        t = Topology(path_graph(3))
+        with pytest.raises(ConfigurationError):
+            BroadcastCongestNetwork(t).run([_BroadcastOnce()], max_rounds=1)
+
+    def test_messages_sent_counted(self):
+        t = Topology(path_graph(3))
+        result = BroadcastCongestNetwork(t).run(
+            [_BroadcastOnce() for _ in range(3)], max_rounds=2
+        )
+        assert result.messages_sent == 3
+
+    def test_context_fields(self):
+        t = Topology(star_graph(4))
+        captured = {}
+
+        class Probe(_SilentForever):
+            def setup(self, ctx):
+                super().setup(ctx)
+                captured[ctx.index] = ctx
+
+        BroadcastCongestNetwork(t).run([Probe() for _ in range(4)], max_rounds=1)
+        assert captured[0].degree == 3
+        assert captured[0].max_degree == 3
+        assert captured[0].num_nodes == 4
+        assert captured[0].neighbor_ids is None  # BC: must be learned
+
+
+class _SendToAll(CongestAlgorithm):
+    """Sends a per-destination value; collects one round of input."""
+
+    def __init__(self):
+        self.inbox = {}
+        self._done = False
+
+    def send(self, round_index):
+        if round_index > 0:
+            return {}
+        return {u: (self.ctx.node_id * 10 + u) % 64 for u in self.ctx.neighbor_ids}
+
+    def receive(self, round_index, messages):
+        self.inbox.update(messages)
+        self._done = True
+
+    @property
+    def finished(self):
+        return self._done
+
+    def output(self):
+        return dict(self.inbox)
+
+
+class _SendsToStranger(CongestAlgorithm):
+    def send(self, round_index):
+        return {999: 1}
+
+    def receive(self, round_index, messages):
+        pass
+
+
+class TestCongest:
+    def test_point_to_point_attribution(self):
+        t = Topology(star_graph(4))
+        result = CongestNetwork(t, message_bits=8).run(
+            [_SendToAll() for _ in range(4)], max_rounds=2
+        )
+        # hub (0) hears from each leaf u: value u*10+0
+        assert result.outputs[0] == {1: 10, 2: 20, 3: 30}
+        # leaf 2 hears hub's value 0*10+2
+        assert result.outputs[2] == {0: 2}
+
+    def test_neighbor_ids_in_context(self):
+        t = Topology(path_graph(3))
+        captured = {}
+
+        class Probe(_SendToAll):
+            def setup(self, ctx):
+                super().setup(ctx)
+                captured[ctx.index] = ctx.neighbor_ids
+
+        CongestNetwork(t, message_bits=8).run(
+            [Probe() for _ in range(3)], max_rounds=2
+        )
+        assert captured[1] == [0, 2]
+
+    def test_non_neighbor_send_rejected(self):
+        t = Topology(path_graph(2))
+        with pytest.raises(ProtocolViolationError):
+            CongestNetwork(t, message_bits=8).run(
+                [_SendsToStranger(), _SendsToStranger()], max_rounds=1
+            )
+
+    def test_message_size_enforced(self):
+        t = Topology(path_graph(2))
+
+        class Big(CongestAlgorithm):
+            def send(self, round_index):
+                return {u: 1 << 40 for u in self.ctx.neighbor_ids}
+
+            def receive(self, round_index, messages):
+                pass
+
+        with pytest.raises(MessageSizeError):
+            CongestNetwork(t, message_bits=8).run([Big(), Big()], max_rounds=1)

@@ -1,0 +1,99 @@
+"""Tests for the Section 3 parameter engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SimulationParameters, paper_strict_c, practical_c
+from repro.errors import ConfigurationError
+
+
+class TestStrictConstants:
+    def test_eps_01_value(self):
+        # dominated by Lemma 9's 54/((1-2e)^2 e) + 5 term
+        assert paper_strict_c(0.1) == 849
+
+    def test_monotone_blowup_near_half(self):
+        assert paper_strict_c(0.4) > paper_strict_c(0.3) > 0
+
+    def test_blowup_near_zero(self):
+        assert paper_strict_c(0.01) > paper_strict_c(0.1)
+
+    def test_domain_enforced(self):
+        for eps in [0.0, 0.5, -0.1]:
+            with pytest.raises(ConfigurationError):
+                paper_strict_c(eps)
+
+    def test_always_way_above_practical(self):
+        for eps in [0.05, 0.1, 0.2, 0.3]:
+            assert paper_strict_c(eps) > 10 * practical_c(eps)
+
+
+class TestPracticalConstants:
+    def test_noiseless_minimum(self):
+        assert practical_c(0.0) == 3
+
+    def test_monotone_in_eps(self):
+        values = [practical_c(eps) for eps in (0.0, 0.05, 0.1, 0.2, 0.3)]
+        assert values == sorted(values)
+
+    def test_domain(self):
+        with pytest.raises(ConfigurationError):
+            practical_c(0.5)
+
+
+class TestDerivedQuantities:
+    def test_paper_lengths(self):
+        # B = gamma log n, a = cB, b = c^2 (Delta+1) a = c^3 (Delta+1) B
+        params = SimulationParameters(message_bits=7, max_degree=4, eps=0.0, c=3)
+        assert params.k == 5
+        assert params.r_bits == 21
+        assert params.beep_code_length == 27 * 5 * 7
+        assert params.beep_codeword_weight == 9 * 7
+        assert params.distance_code_length == params.beep_codeword_weight
+        assert params.rounds_per_simulated_round == 2 * params.beep_code_length
+        assert params.overhead == params.rounds_per_simulated_round
+
+    def test_for_network_derives_message_bits(self):
+        params = SimulationParameters.for_network(100, 5, eps=0.0, gamma=2)
+        assert params.message_bits == 2 * 7  # ceil(log2 100) = 7
+        assert params.max_degree == 5
+        assert params.c == practical_c(0.0)
+
+    def test_for_network_strict_mode(self):
+        params = SimulationParameters.for_network(64, 3, eps=0.1, strict=True)
+        assert params.c == paper_strict_c(0.1)
+
+    def test_for_network_explicit_c(self):
+        params = SimulationParameters.for_network(64, 3, eps=0.1, c=7)
+        assert params.c == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(message_bits=0, max_degree=2, eps=0.0, c=3)
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(message_bits=4, max_degree=-1, eps=0.0, c=3)
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(message_bits=4, max_degree=2, eps=0.5, c=3)
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(message_bits=4, max_degree=2, eps=0.0, c=2)
+
+    def test_code_builders_consistent(self):
+        params = SimulationParameters(message_bits=5, max_degree=3, eps=0.1, c=4)
+        combined = params.combined_code(seed=3)
+        assert combined.beep_code.length == params.beep_code_length
+        assert combined.beep_code.weight == params.beep_codeword_weight
+        assert combined.distance_code.length == params.distance_code_length
+        assert combined.distance_code.input_bits == params.message_bits
+
+    def test_codes_shared_under_same_seed(self):
+        import numpy as np
+
+        params = SimulationParameters(message_bits=5, max_degree=2, eps=0.0, c=3)
+        a = params.beep_code(seed=1)
+        b = params.beep_code(seed=1)
+        assert np.array_equal(a.encode_int(9), b.encode_int(9))
+
+    def test_distance_delta_is_one_third(self):
+        params = SimulationParameters(message_bits=5, max_degree=2, eps=0.0, c=3)
+        assert params.distance_delta == pytest.approx(1.0 / 3.0)

@@ -1,0 +1,158 @@
+"""Tests for Algorithm 1 (simulate_broadcast_round)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CandidatePolicy, SimulationParameters, simulate_broadcast_round
+from repro.errors import ConfigurationError
+from repro.graphs import Topology, path_graph, random_regular_graph, star_graph
+
+
+class TestNoiselessRound:
+    def test_all_nodes_decode_neighbors(self, regular12, small_params):
+        messages = [v % 64 for v in range(12)]
+        outcome = simulate_broadcast_round(regular12, messages, small_params, seed=1)
+        assert outcome.success
+        assert outcome.phase1_errors == 0
+        assert outcome.phase2_errors == 0
+        for v in range(12):
+            expected = sorted(messages[int(u)] for u in regular12.neighbors[v])
+            assert outcome.decoded[v] == expected
+
+    def test_beep_rounds_is_twice_code_length(self, regular12, small_params):
+        outcome = simulate_broadcast_round(
+            regular12, [1] * 12, small_params, seed=1
+        )
+        assert outcome.beep_rounds_used == 2 * small_params.beep_code_length
+
+    def test_duplicate_messages_kept_as_multiset(self, star8):
+        params = SimulationParameters(message_bits=6, max_degree=7, eps=0.0, c=3)
+        messages = [5] * 8  # every leaf sends 5
+        outcome = simulate_broadcast_round(star8, messages, params, seed=2)
+        assert outcome.success
+        assert outcome.decoded[0] == [5] * 7  # hub hears seven copies
+
+    def test_silent_nodes_not_decoded(self, path6, small_params):
+        messages = [10, None, 30, None, 50, 60]
+        outcome = simulate_broadcast_round(path6, messages, small_params, seed=3)
+        assert outcome.success
+        assert outcome.decoded[0] == []  # only neighbour (1) was silent
+        assert outcome.decoded[1] == [10, 30]
+
+    def test_all_silent(self, path6, small_params):
+        outcome = simulate_broadcast_round(
+            path6, [None] * 6, small_params, seed=3
+        )
+        assert outcome.success
+        assert all(d == [] for d in outcome.decoded)
+
+    def test_deterministic_under_seed(self, regular12, small_params):
+        messages = [v % 64 for v in range(12)]
+        a = simulate_broadcast_round(regular12, messages, small_params, seed=9)
+        b = simulate_broadcast_round(regular12, messages, small_params, seed=9)
+        assert a.decoded == b.decoded
+        assert np.array_equal(a.per_node_success, b.per_node_success)
+
+
+class TestNoisyRound:
+    def test_high_success_at_practical_constants(self, regular12, noisy_params):
+        messages = [v % 64 for v in range(12)]
+        successes = sum(
+            simulate_broadcast_round(
+                regular12, messages, noisy_params, seed=s
+            ).success
+            for s in range(8)
+        )
+        assert successes >= 7
+
+    def test_degraded_at_undersized_constants(self, regular12):
+        """With c too small for the noise level, decoding visibly degrades —
+        the redundancy really is doing the work."""
+        params = SimulationParameters(message_bits=6, max_degree=3, eps=0.2, c=3)
+        messages = [v % 64 for v in range(12)]
+        failures = sum(
+            not simulate_broadcast_round(regular12, messages, params, seed=s).success
+            for s in range(6)
+        )
+        assert failures >= 1
+
+
+class TestCandidatePolicies:
+    def test_exhaustive_matches_oracle_small(self):
+        topology = Topology(path_graph(4))
+        params = SimulationParameters(message_bits=3, max_degree=2, eps=0.0, c=3)
+        messages = [1, 2, 3, 4]
+        exhaustive = simulate_broadcast_round(
+            topology,
+            messages,
+            params,
+            seed=5,
+            policy=CandidatePolicy.EXHAUSTIVE,
+        )
+        oracle = simulate_broadcast_round(
+            topology,
+            messages,
+            params,
+            seed=5,
+            policy=CandidatePolicy.ORACLE_WITH_DECOYS,
+        )
+        assert exhaustive.decoded == oracle.decoded
+        assert exhaustive.success and oracle.success
+
+    def test_in_flight_policy(self, regular12, small_params):
+        outcome = simulate_broadcast_round(
+            regular12,
+            [v % 64 for v in range(12)],
+            small_params,
+            seed=5,
+            policy=CandidatePolicy.IN_FLIGHT,
+        )
+        assert outcome.success
+
+    def test_exhaustive_refuses_large_spaces(self, regular12):
+        params = SimulationParameters(message_bits=16, max_degree=3, eps=0.0, c=3)
+        with pytest.raises(ConfigurationError):
+            simulate_broadcast_round(
+                regular12,
+                [1] * 12,
+                params,
+                seed=0,
+                policy=CandidatePolicy.EXHAUSTIVE,
+            )
+
+    def test_decoys_do_not_break_decoding(self, regular12, small_params):
+        outcome = simulate_broadcast_round(
+            regular12,
+            [v % 64 for v in range(12)],
+            small_params,
+            seed=5,
+            num_decoys=64,
+        )
+        assert outcome.success
+
+
+class TestValidation:
+    def test_message_count_checked(self, path6, small_params):
+        with pytest.raises(ConfigurationError):
+            simulate_broadcast_round(path6, [1, 2], small_params, seed=0)
+
+    def test_message_width_checked(self, path6, small_params):
+        with pytest.raises(ConfigurationError):
+            simulate_broadcast_round(
+                path6, [1 << 20] + [1] * 5, small_params, seed=0
+            )
+
+    def test_degree_bound_checked(self, star8, small_params):
+        # star has Delta = 7 > params.max_degree = 3
+        with pytest.raises(ConfigurationError):
+            simulate_broadcast_round(star8, [1] * 8, small_params, seed=0)
+
+    def test_accepted_sets_exclude_own_codeword(self, path6, small_params):
+        outcome = simulate_broadcast_round(
+            path6, [1, 2, 3, 4, 5, 6], small_params, seed=7
+        )
+        # each node's accepted set has exactly its neighbours' entries
+        for v in range(6):
+            assert len(outcome.accepted_sets[v]) == len(path6.neighbors[v])

@@ -1,0 +1,50 @@
+"""Tests for simulation round/failure accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SimulationStats
+
+
+class TestSimulationStats:
+    def test_initial_state(self):
+        stats = SimulationStats()
+        assert stats.simulated_rounds == 0
+        assert stats.success_rate == 1.0
+        assert stats.overhead == 0.0
+
+    def test_record_accumulates(self):
+        stats = SimulationStats()
+        stats.record_round(
+            beep_rounds=100,
+            success=True,
+            phase1_errors=0,
+            phase2_errors=0,
+            r_collision=False,
+        )
+        stats.record_round(
+            beep_rounds=100,
+            success=False,
+            phase1_errors=2,
+            phase2_errors=1,
+            r_collision=True,
+        )
+        assert stats.simulated_rounds == 2
+        assert stats.beep_rounds == 200
+        assert stats.failed_rounds == 1
+        assert stats.phase1_node_errors == 2
+        assert stats.phase2_node_errors == 1
+        assert stats.r_collisions == 1
+
+    def test_success_rate(self):
+        stats = SimulationStats()
+        for success in (True, True, False, True):
+            stats.record_round(10, success, 0, 0, False)
+        assert stats.success_rate == pytest.approx(0.75)
+
+    def test_overhead_average(self):
+        stats = SimulationStats()
+        stats.record_round(100, True, 0, 0, False)
+        stats.record_round(300, True, 0, 0, False)
+        assert stats.overhead == pytest.approx(200.0)

@@ -1,0 +1,33 @@
+"""Tests for the command-line experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import main
+
+
+class TestHarnessCLI:
+    def test_no_args_lists_experiments(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "e01" in out and "e16" in out and "a03" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["e01"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "[e01 completed" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["e01", "e15"]) == 0
+        out = capsys.readouterr().out
+        assert "[e01 completed" in out and "[e15 completed" in out
+
+    def test_seed_flag(self, capsys):
+        assert main(["e01", "--seed", "3"]) == 0
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ConfigurationError):
+            main(["e99"])

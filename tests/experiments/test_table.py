@@ -1,0 +1,49 @@
+"""Tests for the experiment table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import Table
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table(title="T", headers=["a", "long header"])
+        table.add_row(1, 2)
+        table.add_row(100000, 3)
+        lines = table.render().splitlines()
+        assert lines[0] == "T"
+        header_line = lines[2]
+        assert header_line.startswith("a")
+        assert "long header" in header_line
+
+    def test_bool_formatting(self):
+        table = Table(title="T", headers=["ok"])
+        table.add_row(True)
+        table.add_row(False)
+        rendered = table.render()
+        assert "yes" in rendered and "no" in rendered
+
+    def test_float_formatting(self):
+        table = Table(title="T", headers=["x"])
+        table.add_row(0.00001)
+        table.add_row(1.5)
+        rendered = table.render()
+        assert "1.00e-05" in rendered
+        assert "1.5" in rendered
+
+    def test_notes_rendered(self):
+        table = Table(title="T", headers=["x"], notes=["hello world"])
+        assert "note: hello world" in table.render()
+
+    def test_row_arity_checked(self):
+        table = Table(title="T", headers=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_str_is_render(self):
+        table = Table(title="T", headers=["a"])
+        table.add_row(5)
+        assert str(table) == table.render()

@@ -1,0 +1,133 @@
+"""Tests for topology generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    balanced_tree_graph,
+    complete_bipartite_with_isolated,
+    complete_graph,
+    cycle_graph,
+    disk_graph,
+    gnp_graph,
+    grid_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+)
+from repro.graphs.validation import assert_valid_topology, max_degree
+
+
+class TestHardInstanceGraph:
+    def test_structure(self):
+        graph = complete_bipartite_with_isolated(3, 10)
+        assert graph.number_of_nodes() == 10
+        assert graph.number_of_edges() == 9
+        assert max_degree(graph) == 3
+        # nodes 6..9 isolated
+        for v in range(6, 10):
+            assert graph.degree[v] == 0
+
+    def test_bipartite_edges_only_cross(self):
+        graph = complete_bipartite_with_isolated(4, 8)
+        for u, v in graph.edges:
+            assert (u < 4) != (v < 4)
+
+    def test_too_small_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            complete_bipartite_with_isolated(4, 7)
+
+    def test_delta_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            complete_bipartite_with_isolated(0, 4)
+
+
+class TestDeterministicShapes:
+    def test_path(self):
+        assert path_graph(5).number_of_edges() == 4
+
+    def test_cycle(self):
+        graph = cycle_graph(6)
+        assert graph.number_of_edges() == 6
+        assert max_degree(graph) == 2
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ConfigurationError):
+            cycle_graph(2)
+
+    def test_star(self):
+        graph = star_graph(7)
+        assert max_degree(graph) == 6
+        assert graph.degree[0] == 6
+
+    def test_complete(self):
+        graph = complete_graph(6)
+        assert graph.number_of_edges() == 15
+
+    def test_grid_labels_consecutive(self):
+        graph = grid_graph(3, 4)
+        assert_valid_topology(graph)
+        assert graph.number_of_nodes() == 12
+        assert max_degree(graph) <= 4
+
+    def test_grid_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            grid_graph(0, 3)
+
+    def test_tree(self):
+        graph = balanced_tree_graph(2, 3)
+        assert nx.is_tree(graph)
+
+
+class TestRandomGenerators:
+    def test_gnp_reproducible(self):
+        a = gnp_graph(30, 0.2, seed=5)
+        b = gnp_graph(30, 0.2, seed=5)
+        assert set(a.edges) == set(b.edges)
+
+    def test_gnp_seed_changes_graph(self):
+        a = gnp_graph(30, 0.2, seed=5)
+        b = gnp_graph(30, 0.2, seed=6)
+        assert set(a.edges) != set(b.edges)
+
+    def test_gnp_extreme_p(self):
+        assert gnp_graph(10, 0.0, seed=1).number_of_edges() == 0
+        assert gnp_graph(10, 1.0, seed=1).number_of_edges() == 45
+
+    def test_gnp_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            gnp_graph(10, 1.5, seed=1)
+
+    def test_regular_is_regular(self):
+        graph = random_regular_graph(20, 5, seed=2)
+        assert all(degree == 5 for _, degree in graph.degree)
+        assert_valid_topology(graph)
+
+    def test_regular_infeasible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_regular_graph(5, 3, seed=1)  # odd n*d
+        with pytest.raises(ConfigurationError):
+            random_regular_graph(4, 4, seed=1)  # degree >= n
+
+    def test_disk_graph_positions_and_validity(self):
+        graph = disk_graph(25, 0.3, seed=4)
+        assert_valid_topology(graph)
+        for v in graph.nodes:
+            x, y = graph.nodes[v]["pos"]
+            assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+    def test_disk_graph_connect_flag(self):
+        graph = disk_graph(30, 0.12, seed=9, connect=True)
+        assert nx.is_connected(graph)
+
+    def test_disk_graph_bad_radius(self):
+        with pytest.raises(ConfigurationError):
+            disk_graph(5, 0.0, seed=1)
+
+    def test_disk_graph_reproducible(self):
+        a = disk_graph(15, 0.25, seed=11)
+        b = disk_graph(15, 0.25, seed=11)
+        assert set(a.edges) == set(b.edges)

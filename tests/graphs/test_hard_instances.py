@@ -1,0 +1,66 @@
+"""Tests for the Section 5 / Theorem 22 hard instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    local_broadcast_hard_instance,
+    matching_hard_instance,
+)
+from repro.graphs.validation import max_degree
+
+
+class TestLocalBroadcastInstance:
+    def test_message_structure(self):
+        instance = local_broadcast_hard_instance(3, 10, 8, seed=0)
+        # left-to-right messages random B-bit, right-to-left all zero
+        for left in range(3):
+            for right in range(3, 6):
+                assert 0 <= instance.messages[(left, right)] < 256
+                assert instance.messages[(right, left)] == 0
+
+    def test_expected_output(self):
+        instance = local_broadcast_hard_instance(2, 6, 4, seed=1)
+        out = instance.expected_output(2)  # right node
+        assert out == {
+            (0, instance.messages[(0, 2)]),
+            (1, instance.messages[(1, 2)]),
+        }
+
+    def test_isolated_nodes_have_empty_output(self):
+        instance = local_broadcast_hard_instance(2, 8, 4, seed=1)
+        assert instance.expected_output(7) == set()
+
+    def test_reproducible(self):
+        a = local_broadcast_hard_instance(3, 8, 6, seed=5)
+        b = local_broadcast_hard_instance(3, 8, 6, seed=5)
+        assert a.messages == b.messages
+
+    def test_bad_message_bits(self):
+        with pytest.raises(ConfigurationError):
+            local_broadcast_hard_instance(2, 6, 0, seed=0)
+
+
+class TestMatchingInstance:
+    def test_structure(self):
+        graph, ids = matching_hard_instance(4, 32, seed=0)
+        assert graph.number_of_nodes() == 8
+        assert max_degree(graph) == 4
+        assert len(ids) == 8
+
+    def test_ids_unique_and_in_range(self):
+        _, ids = matching_hard_instance(5, 64, seed=3)
+        values = list(ids.values())
+        assert len(set(values)) == len(values)
+        assert all(0 <= v < 64**4 for v in values)
+
+    def test_reproducible(self):
+        _, a = matching_hard_instance(3, 16, seed=2)
+        _, b = matching_hard_instance(3, 16, seed=2)
+        assert a == b
+
+    def test_n_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            matching_hard_instance(4, 6, seed=0)

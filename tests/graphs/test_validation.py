@@ -1,0 +1,63 @@
+"""Tests for graph validation helpers."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import assert_valid_topology, max_degree, relabel_consecutive
+
+
+class TestAssertValid:
+    def test_accepts_good_graph(self):
+        graph = nx.path_graph(4)
+        assert_valid_topology(graph)
+
+    def test_rejects_directed(self):
+        with pytest.raises(ConfigurationError):
+            assert_valid_topology(nx.DiGraph([(0, 1)]))
+
+    def test_rejects_noncontiguous(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1, 5])
+        with pytest.raises(ConfigurationError):
+            assert_valid_topology(graph)
+
+    def test_rejects_self_loop(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1])
+        graph.add_edge(1, 1)
+        with pytest.raises(ConfigurationError):
+            assert_valid_topology(graph)
+
+
+class TestMaxDegree:
+    def test_empty(self):
+        assert max_degree(nx.Graph()) == 0
+
+    def test_star(self):
+        assert max_degree(nx.star_graph(5)) == 5
+
+
+class TestRelabel:
+    def test_sorts_comparable_labels(self):
+        graph = nx.Graph()
+        graph.add_edge(10, 20)
+        graph.add_node(5)
+        relabelled = relabel_consecutive(graph)
+        assert sorted(relabelled.nodes) == [0, 1, 2]
+        assert relabelled.has_edge(1, 2)  # 10 -> 1, 20 -> 2
+
+    def test_string_labels(self):
+        graph = nx.Graph()
+        graph.add_edge("b", "a")
+        relabelled = relabel_consecutive(graph)
+        assert relabelled.has_edge(0, 1)
+
+    def test_deterministic(self):
+        graph = nx.Graph()
+        graph.add_edges_from([("x", "y"), ("y", "z")])
+        a = relabel_consecutive(graph)
+        b = relabel_consecutive(graph)
+        assert set(a.edges) == set(b.edges)

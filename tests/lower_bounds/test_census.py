@@ -1,0 +1,36 @@
+"""Tests for the empirical transcript census (Lemma 14 demonstration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lower_bounds import transcript_census
+
+
+class TestTranscriptCensus:
+    def test_algorithm_is_correct_and_injective(self):
+        result = transcript_census(delta=2, message_bits=3, trials=30, seed=1)
+        assert result.all_correct
+        assert result.injective
+        assert result.distinct_transcripts >= result.distinct_inputs
+
+    def test_rounds_respect_lower_bound(self):
+        result = transcript_census(delta=3, message_bits=4, trials=5, seed=0)
+        assert result.rounds_used >= result.lower_bound_rounds
+        # the concrete algorithm is within 2x of the bound
+        assert result.rounds_used <= 2 * result.lower_bound_rounds
+
+    def test_distinct_inputs_grow_with_trials(self):
+        small = transcript_census(2, 4, trials=5, seed=2)
+        large = transcript_census(2, 4, trials=40, seed=2)
+        assert large.distinct_inputs >= small.distinct_inputs
+
+    def test_deterministic_under_seed(self):
+        a = transcript_census(2, 3, trials=10, seed=7)
+        b = transcript_census(2, 3, trials=10, seed=7)
+        assert a == b
+
+    def test_trials_validated(self):
+        with pytest.raises(ConfigurationError):
+            transcript_census(2, 3, trials=0)

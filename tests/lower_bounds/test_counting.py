@@ -1,0 +1,72 @@
+"""Tests for the transcript-counting bound calculators (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lower_bounds import (
+    local_broadcast_round_bound,
+    local_broadcast_success_bound,
+    matching_round_bound,
+    matching_success_bound,
+    simulation_overhead_bounds,
+)
+
+
+class TestLocalBroadcastBound:
+    def test_formula(self):
+        assert local_broadcast_round_bound(4, 8) == 64
+        assert local_broadcast_round_bound(3, 5) == 22  # floor(45/2)
+
+    def test_success_cap_decays_exponentially(self):
+        # at T = Delta^2 B / 2 rounds, cap = 2^(-Delta^2 B / 2)
+        assert local_broadcast_success_bound(8, 2, 4) == pytest.approx(2.0**-8)
+
+    def test_success_cap_saturates(self):
+        assert local_broadcast_success_bound(1000, 2, 4) == 1.0
+
+    def test_cap_monotone_in_rounds(self):
+        caps = [local_broadcast_success_bound(t, 3, 4) for t in (0, 10, 20, 36)]
+        assert caps == sorted(caps)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            local_broadcast_round_bound(0, 4)
+        with pytest.raises(ConfigurationError):
+            local_broadcast_success_bound(-1, 2, 4)
+
+
+class TestMatchingBound:
+    def test_formula(self):
+        assert matching_round_bound(4, 256) == 32
+
+    def test_success_cap(self):
+        # 2^r / n^{3 Delta}
+        assert matching_success_bound(8, 2, 16) == pytest.approx(
+            2.0**8 / 16.0**6
+        )
+
+    def test_cap_saturates(self):
+        assert matching_success_bound(10**6, 2, 16) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            matching_round_bound(0, 16)
+
+
+class TestSimulationOverheadBounds:
+    def test_corollary16_shape(self):
+        bc, congest = simulation_overhead_bounds(8, 256)
+        # Delta log n / 2 and Delta^2 log n / 2
+        assert bc == pytest.approx(8 * 8 / 2)
+        assert congest == pytest.approx(64 * 8 / 2)
+
+    def test_congest_is_delta_times_bc(self):
+        bc, congest = simulation_overhead_bounds(6, 64)
+        assert congest == pytest.approx(6 * bc)
+
+    def test_gamma_cancels(self):
+        assert simulation_overhead_bounds(4, 64, gamma=1) == pytest.approx(
+            simulation_overhead_bounds(4, 64, gamma=3)
+        )

@@ -1,0 +1,171 @@
+"""Unit and property tests for the bit-string algebra (paper Section 1.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import bitstrings as bs
+from repro.errors import ConfigurationError
+from repro.rng import derive_rng
+
+
+class TestConstructors:
+    def test_zeros_is_all_false(self):
+        assert not bs.zeros(10).any()
+
+    def test_ones_is_all_true(self):
+        assert bs.ones(10).all()
+
+    def test_zeros_length_zero_allowed(self):
+        assert len(bs.zeros(0)) == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bs.zeros(-1)
+        with pytest.raises(ConfigurationError):
+            bs.ones(-2)
+
+    def test_from_bits(self):
+        s = bs.from_bits([1, 0, 1, 1])
+        assert list(s) == [True, False, True, True]
+
+    def test_from_01_string_roundtrip(self):
+        text = "0110100"
+        assert bs.to_01_string(bs.from_01_string(text)) == text
+
+    def test_from_01_string_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            bs.from_01_string("01x0")
+
+
+class TestIntConversion:
+    def test_from_int_little_endian(self):
+        s = bs.from_int(0b1101, 6)
+        assert bs.to_01_string(s) == "101100"
+
+    def test_roundtrip_examples(self):
+        for value in [0, 1, 5, 63, 64, 2**30 + 17]:
+            assert bs.to_int(bs.from_int(value, 40)) == value
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bs.from_int(8, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bs.from_int(-1, 4)
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    def test_roundtrip_property(self, value):
+        assert bs.to_int(bs.from_int(value, 48)) == value
+
+
+class TestWeightAndIntersection:
+    def test_weight_counts_ones(self):
+        assert bs.weight(bs.from_bits([1, 0, 1, 1, 0])) == 3
+
+    def test_intersection_weight(self):
+        a = bs.from_bits([1, 1, 0, 0])
+        b = bs.from_bits([1, 0, 1, 0])
+        assert bs.intersection_weight(a, b) == 1
+
+    def test_d_intersects_threshold_semantics(self):
+        a = bs.from_bits([1, 1, 1, 0])
+        b = bs.from_bits([1, 1, 0, 0])
+        assert bs.d_intersects(a, b, 2)
+        assert not bs.d_intersects(a, b, 3)
+
+    def test_d_intersects_zero_always_true(self):
+        a = bs.zeros(4)
+        assert bs.d_intersects(a, a, 0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bs.intersection_weight(bs.zeros(3), bs.zeros(4))
+
+
+class TestHammingAndSuperimpose:
+    def test_hamming_examples(self):
+        a = bs.from_bits([1, 0, 1, 0])
+        b = bs.from_bits([0, 0, 1, 1])
+        assert bs.hamming(a, b) == 2
+        assert bs.hamming(a, a) == 0
+
+    def test_superimpose_is_or(self):
+        strings = [bs.from_bits(x) for x in ([1, 0, 0], [0, 1, 0], [0, 1, 1])]
+        assert list(bs.superimpose(strings)) == [True, True, True]
+
+    def test_superimpose_single(self):
+        s = bs.from_bits([1, 0])
+        assert np.array_equal(bs.superimpose([s]), s)
+
+    def test_superimpose_does_not_mutate_inputs(self):
+        a = bs.from_bits([1, 0])
+        b = bs.from_bits([0, 1])
+        bs.superimpose([a, b])
+        assert list(a) == [True, False]
+
+    def test_superimpose_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bs.superimpose([])
+
+    @given(
+        st.lists(
+            st.lists(st.booleans(), min_size=5, max_size=5),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_superimposition_contains_each_string(self, rows):
+        strings = [bs.from_bits(row) for row in rows]
+        union = bs.superimpose(strings)
+        for s in strings:
+            # every 1 of s appears in the union
+            assert bs.intersection_weight(s, bs.complement(union)) == 0
+
+
+class TestPositionsAndSubsequence:
+    def test_ones_positions(self):
+        s = bs.from_bits([0, 1, 0, 1, 1])
+        assert list(bs.ones_positions(s)) == [1, 3, 4]
+
+    def test_subsequence_at(self):
+        s = bs.from_bits([1, 0, 1, 1, 0])
+        sub = bs.subsequence_at(s, np.array([0, 2, 4]))
+        assert list(sub) == [True, True, False]
+
+    def test_subsequence_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bs.subsequence_at(bs.zeros(3), np.array([3]))
+
+    def test_complement(self):
+        s = bs.from_bits([1, 0])
+        assert list(bs.complement(s)) == [False, True]
+
+
+class TestRandomSampling:
+    def test_constant_weight_has_exact_weight(self):
+        rng = derive_rng(0, "test")
+        for w in [0, 1, 7, 20]:
+            s = bs.random_constant_weight(rng, 20, w)
+            assert bs.weight(s) == w
+
+    def test_constant_weight_invalid_rejected(self):
+        rng = derive_rng(0, "test")
+        with pytest.raises(ConfigurationError):
+            bs.random_constant_weight(rng, 5, 6)
+        with pytest.raises(ConfigurationError):
+            bs.random_constant_weight(rng, 5, -1)
+
+    def test_random_bitstring_length(self):
+        rng = derive_rng(0, "test")
+        assert len(bs.random_bitstring(rng, 33)) == 33
+
+    def test_random_bitstring_depends_on_rng_state(self):
+        rng1 = derive_rng(1, "a")
+        rng2 = derive_rng(1, "a")
+        assert np.array_equal(
+            bs.random_bitstring(rng1, 64), bs.random_bitstring(rng2, 64)
+        )
