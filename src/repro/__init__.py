@@ -10,6 +10,8 @@ The library implements the complete stack the paper builds on:
   (:mod:`repro.codes`);
 * the **optimal simulation** — Algorithm 1, Theorem 11, Corollary 12 —
   (:mod:`repro.core`);
+* the pluggable **execution backends** (dense and bit-packed) it runs on
+  (:mod:`repro.engine`);
 * the **prior-work baselines** it improves on (:mod:`repro.baselines`);
 * the **maximal matching** application and friends (:mod:`repro.algorithms`);
 * the **lower-bound machinery** of Section 5 (:mod:`repro.lower_bounds`).
@@ -54,11 +56,20 @@ from .congest import (
 from .codes import BeepCode, CombinedCode, DistanceCode, KautzSingletonCode
 from .core import (
     BeepSimulator,
+    BroadcastSession,
     CandidatePolicy,
     SimulationParameters,
     paper_strict_c,
     practical_c,
     simulate_broadcast_round,
+)
+from .engine import (
+    BitpackedBackend,
+    DenseBackend,
+    SimulationBackend,
+    available_backends,
+    get_default_backend,
+    set_default_backend,
 )
 
 __version__ = "1.0.0"
@@ -95,10 +106,17 @@ __all__ = [
     "DistanceCode",
     "KautzSingletonCode",
     "BeepSimulator",
+    "BroadcastSession",
     "CandidatePolicy",
     "SimulationParameters",
     "paper_strict_c",
     "practical_c",
     "simulate_broadcast_round",
+    "SimulationBackend",
+    "DenseBackend",
+    "BitpackedBackend",
+    "available_backends",
+    "get_default_backend",
+    "set_default_backend",
     "__version__",
 ]

@@ -2,20 +2,25 @@
 
 The code-transmission phases of Algorithm 1 are *oblivious*: every device's
 beep pattern for the whole phase is fixed before the phase starts (it is a
-codeword).  For those phases the entire execution reduces to one sparse
-matrix product, which is orders of magnitude faster than the per-round
-engine while being bit-identical to it (the noise model keys flips by
-global round number, and the equivalence is property-tested in
-``tests/beeping/test_batch.py``).
+codeword).  For those phases the entire execution reduces to a carrier-sense
+primitive over the whole schedule at once, which is orders of magnitude
+faster than the per-round engine while being bit-identical to it (the noise
+model keys flips by global round number, and the equivalence is
+property-tested in ``tests/beeping/test_batch.py``).
+
+Execution is delegated to a pluggable :class:`~repro.engine.
+SimulationBackend` — the scipy-CSR/numpy ``"dense"`` path or the ``uint64``
+``"bitpacked"`` path, selected per call, process-wide, or automatically by
+schedule size (see :mod:`repro.engine`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..engine import SimulationBackend, resolve_backend
 from ..graphs import Topology
-from .noise import NoiseModel, NoiselessChannel
+from .noise import NoiseModel
 
 __all__ = ["run_schedule"]
 
@@ -25,6 +30,7 @@ def run_schedule(
     schedule: np.ndarray,
     channel: NoiseModel | None = None,
     start_round: int = 0,
+    backend: str | SimulationBackend | None = None,
 ) -> np.ndarray:
     """Execute a fixed beep schedule and return what every device hears.
 
@@ -40,6 +46,10 @@ def run_schedule(
     start_round:
         Global round number of the phase's first round; keys the noise
         stream so chained phases reproduce the per-round engine exactly.
+    backend:
+        Execution backend: a name (``"dense"``, ``"bitpacked"``), an
+        instance, ``"auto"``, or ``None`` for the process default.  All
+        backends return bit-identical heard matrices.
 
     Returns
     -------
@@ -47,15 +57,7 @@ def run_schedule(
         Boolean ``(n, rounds)`` matrix of heard bits: own beep or
         neighbours' OR, passed through the channel.
     """
-    if channel is None:
-        channel = NoiselessChannel()
     schedule = np.asarray(schedule, dtype=bool)
-    if schedule.ndim != 2:
-        raise ConfigurationError("schedule must be an (n, rounds) matrix")
-    if schedule.shape[0] != topology.num_nodes:
-        raise ConfigurationError(
-            f"schedule has {schedule.shape[0]} rows, expected "
-            f"{topology.num_nodes}"
-        )
-    received = topology.neighbor_or(schedule) | schedule
-    return channel.apply(received, start_round)
+    rounds = schedule.shape[1] if schedule.ndim == 2 else None
+    resolved = resolve_backend(backend, topology=topology, rounds=rounds)
+    return resolved.run_schedule(topology, schedule, channel, start_round)

@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..engine import SimulationBackend, resolve_backend
 from ..errors import ConfigurationError, ProtocolViolationError
 from ..graphs import Topology
 from .model import Action
@@ -57,11 +58,22 @@ class ExecutionTrace:
 
 
 class BeepingNetwork:
-    """A beeping network over a fixed topology and noise model."""
+    """A beeping network over a fixed topology and noise model.
 
-    def __init__(self, topology: Topology, channel: NoiseModel | None = None) -> None:
+    ``backend`` selects the carrier-sense implementation for each round
+    (name, instance, ``"auto"``, or ``None`` for the process default); all
+    backends hear bit-identical rounds.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        channel: NoiseModel | None = None,
+        backend: str | SimulationBackend | None = None,
+    ) -> None:
         self._topology = topology
         self._channel = channel if channel is not None else NoiselessChannel()
+        self._backend = resolve_backend(backend, topology=topology)
 
     @property
     def topology(self) -> Topology:
@@ -72,6 +84,11 @@ class BeepingNetwork:
     def channel(self) -> NoiseModel:
         """The noise model applied to heard bits."""
         return self._channel
+
+    @property
+    def backend(self) -> SimulationBackend:
+        """The carrier-sense backend in force."""
+        return self._backend
 
     def run(
         self,
@@ -119,7 +136,7 @@ class BeepingNetwork:
                         "return Action.BEEP or Action.LISTEN"
                     )
                 beeps[node] = action is Action.BEEP
-            received = self._topology.neighbor_or(beeps) | beeps
+            received = self._backend.neighbor_or(self._topology, beeps) | beeps
             heard = self._channel.apply(received, round_index)
             for node, protocol in enumerate(protocols):
                 protocol.observe(round_index, bool(heard[node]))

@@ -99,18 +99,27 @@ class BernoulliNoise(NoiseModel):
         if received.ndim != 2:
             raise ConfigurationError("received array must be 1-D or 2-D")
         n, rounds = received.shape
-        heard = np.empty_like(received)
+        return received ^ self.flip_block(round_index, rounds, n)
+
+    def flip_block(self, round_index: int, rounds: int, n: int) -> np.ndarray:
+        """The boolean ``(n, rounds)`` flip matrix starting at ``round_index``.
+
+        This is the raw noise stream :meth:`apply` XORs in, exposed so the
+        bit-packed backend can pack the very same Philox flips into words —
+        the ``(seed, round)`` keying and window semantics are shared, which
+        is what makes the backends bit-identical under noise.
+        """
+        flips = np.empty((n, rounds), dtype=bool)
         position = 0
         while position < rounds:
             window, offset = divmod(round_index + position, _WINDOW)
             take = min(_WINDOW - offset, rounds - position)
             block = self._window_block(window, n)
-            heard[:, position : position + take] = (
-                received[:, position : position + take]
-                ^ block[offset : offset + take].T
-            )
+            flips[:, position : position + take] = block[
+                offset : offset + take
+            ].T
             position += take
-        return heard
+        return flips
 
     def _window_block(self, window: int, n: int) -> np.ndarray:
         """The ``( _WINDOW, n)`` flip matrix for one window of rounds."""

@@ -23,8 +23,10 @@ class Code(ABC):
 
     #: Maximum lazily-generated codewords kept in memory.  The simulation
     #: draws fresh random inputs every round, so an unbounded cache would
-    #: grow with the execution; when the limit is hit the cache is cleared
-    #: wholesale (regeneration is cheap and deterministic).
+    #: grow with the execution; when the limit is hit the least-recently
+    #: used entries are evicted (regeneration is cheap and deterministic,
+    #: but hot codewords — candidates re-scanned every round — stay
+    #: resident).
     CACHE_LIMIT = 4096
 
     def __init__(self, input_bits: int, length: int) -> None:
@@ -34,6 +36,22 @@ class Code(ABC):
             raise ConfigurationError(f"code length must be >= 1, got {length}")
         self._input_bits = input_bits
         self._length = length
+        self._cache: dict[int, BitString] = {}
+
+    def _cache_lookup(self, value: int) -> BitString | None:
+        """Fetch a cached codeword, refreshing its LRU recency on hit."""
+        cached = self._cache.get(value)
+        if cached is not None:
+            # Candidate scans re-touch hot codewords every round; moving
+            # them to the back keeps eviction away from them.
+            self._cache[value] = self._cache.pop(value)
+        return cached
+
+    def _cache_store(self, value: int, word: BitString) -> None:
+        """Insert a codeword, evicting least-recently-used entries at the limit."""
+        while len(self._cache) >= self.CACHE_LIMIT:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[value] = word
 
     @property
     def input_bits(self) -> int:

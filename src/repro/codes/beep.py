@@ -86,7 +86,6 @@ class BeepCode(Code):
         self._k = k
         self._c = c
         self._seed = seed
-        self._cache: dict[int, BitString] = {}
 
     @property
     def k(self) -> int:
@@ -125,13 +124,11 @@ class BeepCode(Code):
     def encode_int(self, value: int) -> BitString:
         """Return ``C(value)``: a uniform constant-weight string keyed by input."""
         self._check_value(value)
-        cached = self._cache.get(value)
+        cached = self._cache_lookup(value)
         if cached is None:
             rng = derive_rng(self._seed, "beep-code", self.length, self.weight, value)
             cached = bitstrings.random_constant_weight(rng, self.length, self.weight)
-            if len(self._cache) >= self.CACHE_LIMIT:
-                self._cache.clear()
-            self._cache[value] = cached
+            self._cache_store(value, cached)
         return cached.copy()
 
     def noiseless_membership_test(self, value: int, heard: BitString) -> bool:

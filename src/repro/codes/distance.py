@@ -63,7 +63,6 @@ class DistanceCode(Code):
         super().__init__(input_bits, length)
         self._delta = delta
         self._seed = seed
-        self._cache: dict[int, BitString] = {}
 
     @property
     def delta(self) -> float:
@@ -83,13 +82,11 @@ class DistanceCode(Code):
     def encode_int(self, value: int) -> BitString:
         """Return ``D(value)``: a uniform random string keyed by the input."""
         self._check_value(value)
-        cached = self._cache.get(value)
+        cached = self._cache_lookup(value)
         if cached is None:
             rng = derive_rng(self._seed, "distance-code", self.length, value)
             cached = bitstrings.random_bitstring(rng, self.length)
-            if len(self._cache) >= self.CACHE_LIMIT:
-                self._cache.clear()
-            self._cache[value] = cached
+            self._cache_store(value, cached)
         return cached.copy()
 
     def decode_nearest(

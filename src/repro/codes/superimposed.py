@@ -62,7 +62,6 @@ class KautzSingletonCode(Code):
         p, m = _choose_parameters(input_bits, k)
         self._rs = ReedSolomonCode(p, m)
         super().__init__(input_bits, p * p)
-        self._cache: dict[int, BitString] = {}
 
     @property
     def k(self) -> int:
@@ -87,7 +86,7 @@ class KautzSingletonCode(Code):
     def encode_int(self, value: int) -> BitString:
         """One-hot-concatenate the RS codeword of ``value``."""
         self._check_value(value)
-        cached = self._cache.get(value)
+        cached = self._cache_lookup(value)
         if cached is None:
             p = self._rs.field_size
             symbols = self._rs.encode_int(value)
@@ -95,7 +94,7 @@ class KautzSingletonCode(Code):
             for position, symbol in enumerate(symbols):
                 word[position * p + symbol] = True
             cached = word
-            self._cache[value] = cached
+            self._cache_store(value, cached)
         return cached.copy()
 
     def decode_union(

@@ -4,6 +4,8 @@
   constants of Lemmas 9–10 and practical presets);
 * :func:`simulate_broadcast_round` — Algorithm 1: one Broadcast CONGEST
   round in ``O(Δ log n)`` noisy-beep rounds;
+* :class:`BroadcastSession` — the amortised multi-round engine behind it
+  (codes, channel, backend and decoder matrices built once);
 * :class:`BeepSimulator` — Theorem 11 / Corollary 12: run entire Broadcast
   CONGEST or CONGEST algorithms on a (noisy) beeping network;
 * :mod:`~repro.core.local_broadcast` — the B-bit Local Broadcast problem
@@ -18,7 +20,11 @@ from .parameters import (
 )
 from .encoder import build_phase_schedules
 from .decoder import phase1_decode, phase2_decode
-from .round_simulator import RoundOutcome, simulate_broadcast_round
+from .round_simulator import (
+    BroadcastSession,
+    RoundOutcome,
+    simulate_broadcast_round,
+)
 from .stats import SimulationStats
 from .transpiler import BeepSimulator, TranspiledRunResult
 from .congest_wrapper import CongestViaBroadcast, congest_payload_bits
@@ -37,6 +43,7 @@ __all__ = [
     "build_phase_schedules",
     "phase1_decode",
     "phase2_decode",
+    "BroadcastSession",
     "RoundOutcome",
     "simulate_broadcast_round",
     "SimulationStats",

@@ -55,6 +55,7 @@ def phase1_decode(
     heard: np.ndarray,
     candidates: Sequence[int],
     eps: float,
+    codeword_matrix: np.ndarray | None = None,
 ) -> list[set[int]]:
     """Decode every node's accepted codeword set ``R̃_v`` (Lemma 9 test).
 
@@ -69,6 +70,10 @@ def phase1_decode(
         test is the paper's regardless of how this set was chosen).
     eps:
         The channel noise rate, which sets the acceptance threshold.
+    codeword_matrix:
+        Optional pre-built ``(len(candidates), b)`` matrix of the
+        candidates' codewords (row ``i`` = ``C(candidates[i])``), letting
+        sessions amortise encoding across rounds.
 
     Returns
     -------
@@ -82,7 +87,13 @@ def phase1_decode(
         )
     if not candidates:
         return [set() for _ in range(heard.shape[0])]
-    codeword_matrix = beep_code.encode_many(list(candidates)).astype(np.int32)
+    if codeword_matrix is None:
+        codeword_matrix = beep_code.encode_many(list(candidates)).astype(np.int32)
+    elif codeword_matrix.shape != (len(candidates), beep_code.length):
+        raise ConfigurationError(
+            f"codeword matrix must be ({len(candidates)}, {beep_code.length}), "
+            f"got {codeword_matrix.shape}"
+        )
     not_heard = (~heard).astype(np.int32)
     # statistics[i, v] = 1(C(candidate_i) ∧ ¬x̃_v)
     statistics = codeword_matrix @ not_heard.T
@@ -99,6 +110,7 @@ def phase2_decode(
     heard: np.ndarray,
     accepted: Sequence[set[int]],
     message_candidates: Sequence[int],
+    codeword_matrix: np.ndarray | None = None,
 ) -> list[dict[int, DecodedMessage]]:
     """Decode every node's neighbour messages from the phase-2 heard strings.
 
@@ -113,6 +125,11 @@ def phase2_decode(
         value should already be removed by the caller).
     message_candidates:
         Candidate message values for nearest-codeword decoding.
+    codeword_matrix:
+        Optional pre-built boolean ``(len(message_candidates), len(D))``
+        matrix of distance codewords (row ``i`` =
+        ``D(message_candidates[i])``), letting sessions amortise encoding
+        across rounds.
 
     Returns
     -------
@@ -128,9 +145,18 @@ def phase2_decode(
     if not message_candidates:
         raise ConfigurationError("phase 2 needs at least one message candidate")
     distance_code = combined_code.distance_code
-    codeword_matrix = np.stack(
-        [distance_code.encode_int(m) for m in message_candidates]
-    )
+    if codeword_matrix is None:
+        codeword_matrix = np.stack(
+            [distance_code.encode_int(m) for m in message_candidates]
+        )
+    elif codeword_matrix.shape != (
+        len(message_candidates),
+        distance_code.length,
+    ):
+        raise ConfigurationError(
+            f"codeword matrix must be ({len(message_candidates)}, "
+            f"{distance_code.length}), got {codeword_matrix.shape}"
+        )
     # Sort candidates so argmin tie-break lands on the smallest message
     # value, matching DistanceCode.decode_nearest.
     order = np.argsort(np.asarray(message_candidates, dtype=np.int64), kind="stable")

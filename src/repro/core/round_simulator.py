@@ -1,4 +1,4 @@
-"""Algorithm 1: simulating one Broadcast CONGEST round with noisy beeps.
+"""Algorithm 1: simulating Broadcast CONGEST rounds with noisy beeps.
 
 The full round protocol of Section 3:
 
@@ -8,6 +8,14 @@ The full round protocol of Section 3:
 4. every node decodes its neighbours' codeword set from the phase-1
    superimposition (Lemmas 8–9) and then each neighbour's message from the
    phase-2 subsequences (Lemma 10).
+
+:class:`BroadcastSession` is the multi-round engine: it builds the code
+pair, the channel, the candidate-policy state and the decoder codeword
+matrices **once**, then exposes :meth:`~BroadcastSession.run_round` /
+:meth:`~BroadcastSession.run_many` whose outcomes are bit-identical to a
+sequence of standalone calls with matching round offsets (same seeds →
+same :class:`RoundOutcome`\\ s).  :func:`simulate_broadcast_round` remains
+as the one-shot compatibility wrapper.
 
 The returned :class:`RoundOutcome` carries both the decoded messages (which
 downstream algorithms consume, right or wrong — simulation fidelity is part
@@ -24,6 +32,7 @@ import numpy as np
 from ..beeping.batch import run_schedule
 from ..beeping.noise import NoiseModel, NoiselessChannel, BernoulliNoise
 from ..codes import CombinedCode
+from ..engine import SimulationBackend, resolve_backend
 from ..errors import ConfigurationError
 from ..graphs import Topology
 from ..rng import derive_rng, derive_seed, random_bits
@@ -31,10 +40,20 @@ from .decoder import phase1_decode, phase2_decode
 from .encoder import build_phase_schedules
 from .parameters import CandidatePolicy, SimulationParameters
 
-__all__ = ["RoundOutcome", "simulate_broadcast_round", "make_channel_for"]
+__all__ = [
+    "RoundOutcome",
+    "BroadcastSession",
+    "simulate_broadcast_round",
+    "make_channel_for",
+]
 
 #: Exhaustive candidate scans are exponential; refuse beyond this size.
 _EXHAUSTIVE_LIMIT_BITS = 22
+
+#: Distance-code rows cached across rounds (per session).  Rows are short
+#: (``c²B`` bits) and in-flight messages recur across rounds (IDs, counters
+#: ...), so this cache converts phase-2 matrix builds into lookups.
+_DISTANCE_ROW_CACHE_LIMIT = 8192
 
 
 @dataclass(frozen=True)
@@ -80,6 +99,344 @@ def make_channel_for(params: SimulationParameters, seed: int) -> NoiseModel:
     return BernoulliNoise(params.eps, seed=derive_seed(seed, "channel"))
 
 
+class BroadcastSession:
+    """An amortised multi-round engine for Algorithm 1.
+
+    All per-execution state — the code pair ``(C, D)``, the channel, the
+    execution backend, and the candidate-policy decoder state — is built in
+    the constructor; each :meth:`run_round` call then only pays for the
+    round itself.  The session tracks the global beeping-round offset so
+    consecutive rounds chain exactly like
+    :class:`~repro.core.transpiler.BeepSimulator` chains standalone calls.
+
+    Parameters
+    ----------
+    topology:
+        The network (its max degree must not exceed ``params.max_degree``).
+    params:
+        Code parameters.
+    seed:
+        Master seed; per-round randomness is derived from
+        ``(seed, round_offset)`` so rounds are independent and the whole
+        session is reproducible.
+    policy, num_decoys:
+        Candidate enumeration policy (see DESIGN.md §2.2).
+    channel:
+        Override the noise channel (defaults to the one implied by
+        ``params.eps``).
+    codes:
+        Reuse a previously built code pair.
+    backend:
+        Execution backend for the beeping phases (name, instance,
+        ``"auto"``, or ``None`` for the process default).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: SimulationParameters,
+        seed: int,
+        *,
+        policy: CandidatePolicy = CandidatePolicy.ORACLE_WITH_DECOYS,
+        num_decoys: int = 16,
+        channel: NoiseModel | None = None,
+        codes: CombinedCode | None = None,
+        backend: str | SimulationBackend | None = None,
+    ) -> None:
+        if topology.max_degree > params.max_degree:
+            raise ConfigurationError(
+                f"topology degree {topology.max_degree} exceeds parameter "
+                f"max_degree {params.max_degree}"
+            )
+        if policy is CandidatePolicy.EXHAUSTIVE:
+            if params.r_bits > _EXHAUSTIVE_LIMIT_BITS:
+                raise ConfigurationError(
+                    f"exhaustive policy limited to r_bits <= "
+                    f"{_EXHAUSTIVE_LIMIT_BITS}, got {params.r_bits}"
+                )
+            if params.message_bits > _EXHAUSTIVE_LIMIT_BITS:
+                raise ConfigurationError(
+                    "exhaustive policy limited to small message spaces"
+                )
+        self._topology = topology
+        self._params = params
+        self._seed = seed
+        self._policy = policy
+        self._num_decoys = num_decoys
+        self._codes = (
+            codes
+            if codes is not None
+            else params.combined_code(derive_seed(seed, "codes"))
+        )
+        self._channel = (
+            channel if channel is not None else make_channel_for(params, seed)
+        )
+        self._backend = resolve_backend(
+            backend, topology=topology, rounds=self._codes.length
+        )
+        self._round_offset = 0
+        # Candidate-policy decoder state, built lazily once per session:
+        # the full phase-1/phase-2 matrices for EXHAUSTIVE, and a bounded
+        # distance-row cache for the message-decoy policies.
+        self._exhaustive_phase1: np.ndarray | None = None
+        self._exhaustive_phase2: np.ndarray | None = None
+        self._distance_rows: dict[int, np.ndarray] = {}
+
+    @property
+    def topology(self) -> Topology:
+        """The network topology."""
+        return self._topology
+
+    @property
+    def params(self) -> SimulationParameters:
+        """The code parameters in force."""
+        return self._params
+
+    @property
+    def codes(self) -> CombinedCode:
+        """The shared code pair ``(C, D)``, built once per session."""
+        return self._codes
+
+    @property
+    def channel(self) -> NoiseModel:
+        """The noise channel, built once per session."""
+        return self._channel
+
+    @property
+    def backend(self) -> SimulationBackend:
+        """The execution backend driving the beeping phases."""
+        return self._backend
+
+    @property
+    def next_round_offset(self) -> int:
+        """The global beeping-round offset the next round will start at."""
+        return self._round_offset
+
+    def reset(self, round_offset: int = 0) -> None:
+        """Rewind the session's global beeping-round offset."""
+        if round_offset < 0:
+            raise ConfigurationError(
+                f"round_offset must be >= 0, got {round_offset}"
+            )
+        self._round_offset = round_offset
+
+    def run_round(
+        self,
+        messages: Sequence[int | None],
+        round_offset: int | None = None,
+    ) -> RoundOutcome:
+        """Run Algorithm 1 once and decode every node's neighbour messages.
+
+        ``messages`` holds, per node, the ``B``-bit message to broadcast or
+        ``None`` to stay silent this round.  ``round_offset`` overrides the
+        session's running offset (it keys both the noise stream and the
+        per-round random strings); either way the session's offset advances
+        to just past this round, so back-to-back calls chain contiguously.
+        """
+        topology = self._topology
+        params = self._params
+        n = topology.num_nodes
+        if len(messages) != n:
+            raise ConfigurationError(f"got {len(messages)} messages for {n} nodes")
+        for message in messages:
+            if message is not None and (
+                message < 0 or message >> params.message_bits
+            ):
+                raise ConfigurationError(
+                    f"message {message} does not fit in {params.message_bits} bits"
+                )
+        if round_offset is None:
+            round_offset = self._round_offset
+        codes = self._codes
+        channel = self._channel
+
+        # Step 1: every participating node draws r_v uniformly at random.
+        round_rng = derive_rng(self._seed, "round-randomness", round_offset)
+        r_space = 1 << params.r_bits
+        r_values = [int(value) for value in _draw_r_values(round_rng, n, r_space)]
+        participating = [messages[v] is not None for v in range(n)]
+
+        # Steps 2-3: the two oblivious beeping phases.
+        phase1_schedule, phase2_schedule = build_phase_schedules(
+            codes, r_values, messages
+        )
+        b = codes.length
+        heard1 = run_schedule(
+            topology,
+            phase1_schedule,
+            channel,
+            start_round=round_offset,
+            backend=self._backend,
+        )
+        heard2 = run_schedule(
+            topology,
+            phase2_schedule,
+            channel,
+            start_round=round_offset + b,
+            backend=self._backend,
+        )
+
+        # Candidate enumeration per the chosen policy.
+        in_flight = sorted({r_values[v] for v in range(n) if participating[v]})
+        candidates = _candidate_set(
+            self._policy,
+            in_flight,
+            r_space,
+            params.r_bits,
+            self._num_decoys,
+            round_rng,
+        )
+
+        # Step 4a: phase-1 decoding (Lemma 9 threshold test).
+        accepted_raw = phase1_decode(
+            codes.beep_code,
+            heard1,
+            candidates,
+            params.eps,
+            codeword_matrix=self._phase1_matrix(candidates),
+        )
+        accepted: list[set[int]] = []
+        for v in range(n):
+            own = {r_values[v]} if participating[v] else set()
+            accepted.append(accepted_raw[v] - own)
+
+        # Ground truth for diagnostics.
+        true_sets = [
+            {r_values[int(u)] for u in topology.neighbors[v] if participating[int(u)]}
+            for v in range(n)
+        ]
+        phase1_errors = sum(accepted[v] != true_sets[v] for v in range(n))
+        transmitted = [r_values[v] for v in range(n) if participating[v]]
+        r_collision = len(set(transmitted)) != len(transmitted)
+
+        # Step 4b: phase-2 decoding (nearest distance codeword).
+        message_candidates = sorted(
+            {messages[v] for v in range(n) if participating[v]}  # type: ignore[arg-type]
+        )
+        if (
+            self._policy is CandidatePolicy.ORACLE_WITH_DECOYS
+            and message_candidates
+        ):
+            message_candidates = _with_message_decoys(
+                message_candidates,
+                params.message_bits,
+                self._num_decoys,
+                round_rng,
+            )
+        if self._policy is CandidatePolicy.EXHAUSTIVE:
+            message_candidates = list(range(1 << params.message_bits))
+        decoded_maps = (
+            phase2_decode(
+                codes,
+                heard2,
+                accepted,
+                message_candidates,
+                codeword_matrix=self._phase2_matrix(message_candidates),
+            )
+            if message_candidates
+            else [dict() for _ in range(n)]
+        )
+
+        decoded = [
+            sorted(entry.message for entry in decoded_maps[v].values())
+            for v in range(n)
+        ]
+        truth = [
+            sorted(
+                messages[int(u)]  # type: ignore[arg-type]
+                for u in topology.neighbors[v]
+                if participating[int(u)]
+            )
+            for v in range(n)
+        ]
+        per_node_success = np.asarray(
+            [decoded[v] == truth[v] for v in range(n)], dtype=bool
+        )
+        phase2_errors = sum(
+            1
+            for v in range(n)
+            if accepted[v] == true_sets[v] and not per_node_success[v]
+        )
+        self._round_offset = round_offset + 2 * b
+        return RoundOutcome(
+            decoded=decoded,
+            per_node_success=per_node_success,
+            success=bool(per_node_success.all()),
+            beep_rounds_used=2 * b,
+            phase1_errors=phase1_errors,
+            phase2_errors=phase2_errors,
+            r_collision=r_collision,
+            accepted_sets=accepted,
+        )
+
+    def run_many(
+        self,
+        message_rounds: Sequence[Sequence[int | None]],
+        round_offset: int | None = None,
+    ) -> list[RoundOutcome]:
+        """Run consecutive Broadcast CONGEST rounds, chaining offsets.
+
+        Equivalent to calling :func:`simulate_broadcast_round` once per
+        entry with ``round_offset`` advancing by ``2b`` each time — but the
+        codes, channel, backend and decoder matrices are constructed only
+        once, in the session constructor.
+        """
+        if round_offset is not None:
+            self.reset(round_offset)
+        return [self.run_round(messages) for messages in message_rounds]
+
+    def _phase1_matrix(self, candidates: Sequence[int]) -> np.ndarray | None:
+        """The phase-1 decoder's ``int32`` codeword matrix, when amortisable.
+
+        Under :attr:`CandidatePolicy.EXHAUSTIVE` the candidate list is the
+        full domain every round, so the matrix is built once and reused.
+        The other policies draw fresh random candidates each round; for
+        them the decoder builds its matrix per call (``None``) through the
+        beep code's own codeword cache.
+        """
+        if self._policy is not CandidatePolicy.EXHAUSTIVE:
+            return None
+        if self._exhaustive_phase1 is None:
+            self._exhaustive_phase1 = self._codes.beep_code.encode_many(
+                list(candidates)
+            ).astype(np.int32)
+        return self._exhaustive_phase1
+
+    def _phase2_matrix(self, message_candidates: Sequence[int]) -> np.ndarray | None:
+        """The phase-2 boolean codeword matrix for ``message_candidates``.
+
+        Built from a bounded per-session row cache (messages recur across
+        rounds far more than the phase-1 random strings do); the full
+        message space is cached wholesale under EXHAUSTIVE.
+        """
+        if not message_candidates:
+            return None
+        distance_code = self._codes.distance_code
+        if self._policy is CandidatePolicy.EXHAUSTIVE:
+            if self._exhaustive_phase2 is None:
+                self._exhaustive_phase2 = np.stack(
+                    [distance_code.encode_int(m) for m in message_candidates]
+                )
+            return self._exhaustive_phase2
+        rows = self._distance_rows
+        matrix = np.empty(
+            (len(message_candidates), distance_code.length), dtype=bool
+        )
+        for position, message in enumerate(message_candidates):
+            row = rows.get(message)
+            if row is None:
+                row = np.asarray(distance_code.encode_int(message), dtype=bool)
+                while len(rows) >= _DISTANCE_ROW_CACHE_LIMIT:
+                    rows.pop(next(iter(rows)))
+            else:
+                # LRU refresh: recurring messages are the cache's whole
+                # point; evict the one-shot decoy rows first.
+                del rows[message]
+            rows[message] = row
+            matrix[position] = row
+        return matrix
+
+
 def simulate_broadcast_round(
     topology: Topology,
     messages: Sequence[int | None],
@@ -90,8 +447,14 @@ def simulate_broadcast_round(
     num_decoys: int = 16,
     channel: NoiseModel | None = None,
     codes: CombinedCode | None = None,
+    backend: str | SimulationBackend | None = None,
 ) -> RoundOutcome:
     """Run Algorithm 1 once and decode every node's neighbour messages.
+
+    One-shot compatibility wrapper over :class:`BroadcastSession`: builds a
+    session, runs a single round at ``round_offset``, and returns its
+    outcome.  Simulating many rounds this way rebuilds the session state
+    every call — use :class:`BroadcastSession` directly for that.
 
     Parameters
     ----------
@@ -116,115 +479,20 @@ def simulate_broadcast_round(
     codes:
         Reuse a previously built code pair (saves cache warm-up when
         simulating many rounds).
+    backend:
+        Execution backend for the beeping phases (see :mod:`repro.engine`).
     """
-    n = topology.num_nodes
-    if len(messages) != n:
-        raise ConfigurationError(f"got {len(messages)} messages for {n} nodes")
-    if topology.max_degree > params.max_degree:
-        raise ConfigurationError(
-            f"topology degree {topology.max_degree} exceeds parameter "
-            f"max_degree {params.max_degree}"
-        )
-    for message in messages:
-        if message is not None and (
-            message < 0 or message >> params.message_bits
-        ):
-            raise ConfigurationError(
-                f"message {message} does not fit in {params.message_bits} bits"
-            )
-    if codes is None:
-        codes = params.combined_code(derive_seed(seed, "codes"))
-    if channel is None:
-        channel = make_channel_for(params, seed)
-
-    # Step 1: every participating node draws r_v uniformly at random.
-    round_rng = derive_rng(seed, "round-randomness", round_offset)
-    r_space = 1 << params.r_bits
-    r_values = [int(value) for value in _draw_r_values(round_rng, n, r_space)]
-    participating = [messages[v] is not None for v in range(n)]
-
-    # Steps 2-3: the two oblivious beeping phases.
-    phase1_schedule, phase2_schedule = build_phase_schedules(
-        codes, r_values, messages
+    session = BroadcastSession(
+        topology,
+        params,
+        seed,
+        policy=policy,
+        num_decoys=num_decoys,
+        channel=channel,
+        codes=codes,
+        backend=backend,
     )
-    b = codes.length
-    heard1 = run_schedule(topology, phase1_schedule, channel, start_round=round_offset)
-    heard2 = run_schedule(
-        topology, phase2_schedule, channel, start_round=round_offset + b
-    )
-
-    # Candidate enumeration per the chosen policy.
-    in_flight = sorted({r_values[v] for v in range(n) if participating[v]})
-    candidates = _candidate_set(
-        policy, in_flight, r_space, params.r_bits, num_decoys, round_rng
-    )
-
-    # Step 4a: phase-1 decoding (Lemma 9 threshold test).
-    accepted_raw = phase1_decode(codes.beep_code, heard1, candidates, params.eps)
-    accepted: list[set[int]] = []
-    for v in range(n):
-        own = {r_values[v]} if participating[v] else set()
-        accepted.append(accepted_raw[v] - own)
-
-    # Ground truth for diagnostics.
-    true_sets = [
-        {r_values[int(u)] for u in topology.neighbors[v] if participating[int(u)]}
-        for v in range(n)
-    ]
-    phase1_errors = sum(accepted[v] != true_sets[v] for v in range(n))
-    transmitted = [r_values[v] for v in range(n) if participating[v]]
-    r_collision = len(set(transmitted)) != len(transmitted)
-
-    # Step 4b: phase-2 decoding (nearest distance codeword).
-    message_candidates = sorted(
-        {messages[v] for v in range(n) if participating[v]}  # type: ignore[arg-type]
-    )
-    if policy is CandidatePolicy.ORACLE_WITH_DECOYS and message_candidates:
-        message_candidates = _with_message_decoys(
-            message_candidates, params.message_bits, num_decoys, round_rng
-        )
-    if policy is CandidatePolicy.EXHAUSTIVE:
-        if params.message_bits > _EXHAUSTIVE_LIMIT_BITS:
-            raise ConfigurationError(
-                "exhaustive policy limited to small message spaces"
-            )
-        message_candidates = list(range(1 << params.message_bits))
-    decoded_maps = (
-        phase2_decode(codes, heard2, accepted, message_candidates)
-        if message_candidates
-        else [dict() for _ in range(n)]
-    )
-
-    decoded = [
-        sorted(entry.message for entry in decoded_maps[v].values())
-        for v in range(n)
-    ]
-    truth = [
-        sorted(
-            messages[int(u)]  # type: ignore[arg-type]
-            for u in topology.neighbors[v]
-            if participating[int(u)]
-        )
-        for v in range(n)
-    ]
-    per_node_success = np.asarray(
-        [decoded[v] == truth[v] for v in range(n)], dtype=bool
-    )
-    phase2_errors = sum(
-        1
-        for v in range(n)
-        if accepted[v] == true_sets[v] and not per_node_success[v]
-    )
-    return RoundOutcome(
-        decoded=decoded,
-        per_node_success=per_node_success,
-        success=bool(per_node_success.all()),
-        beep_rounds_used=2 * b,
-        phase1_errors=phase1_errors,
-        phase2_errors=phase2_errors,
-        r_collision=r_collision,
-        accepted_sets=accepted,
-    )
+    return session.run_round(messages, round_offset=round_offset)
 
 
 def _draw_r_values(

@@ -16,15 +16,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..beeping.noise import NoiseModel
 from ..congest.algorithm import BroadcastCongestAlgorithm, CongestAlgorithm
 from ..congest.context import NodeContext
 from ..congest.model import check_message
+from ..engine import SimulationBackend
 from ..errors import ConfigurationError
 from ..graphs import Topology
-from ..rng import derive_rng, derive_seed
+from ..rng import derive_rng
 from .congest_wrapper import CongestViaBroadcast
 from .parameters import CandidatePolicy, SimulationParameters
-from .round_simulator import make_channel_for, simulate_broadcast_round
+from .round_simulator import BroadcastSession
 from .stats import SimulationStats
 
 __all__ = ["TranspiledRunResult", "BeepSimulator"]
@@ -71,6 +73,11 @@ class BeepSimulator:
         Candidate enumeration policy for the decoders.
     gamma:
         Message-size multiplier ``γ`` when deriving default parameters.
+    backend:
+        Execution backend for the beeping phases (see :mod:`repro.engine`).
+    channel:
+        Override the noise channel (defaults to the one implied by the
+        parameters' noise rate) — the failure-injection seam.
     """
 
     def __init__(
@@ -83,6 +90,8 @@ class BeepSimulator:
         policy: CandidatePolicy = CandidatePolicy.ORACLE_WITH_DECOYS,
         num_decoys: int = 16,
         gamma: int = 4,
+        backend: str | SimulationBackend | None = None,
+        channel: "NoiseModel | None" = None,
     ) -> None:
         n = topology.num_nodes
         if n < 2:
@@ -102,10 +111,18 @@ class BeepSimulator:
         self._params = params
         self._seed = seed
         self._ids = list(ids)
-        self._policy = policy
-        self._num_decoys = num_decoys
-        self._codes = params.combined_code(derive_seed(seed, "codes"))
-        self._channel = make_channel_for(params, seed)
+        # All per-execution state — codes, channel, backend, decoder
+        # matrices — is built once here and amortised across every
+        # simulated round of every run.
+        self._session = BroadcastSession(
+            topology,
+            params,
+            seed,
+            policy=policy,
+            num_decoys=num_decoys,
+            backend=backend,
+            channel=channel,
+        )
 
     @property
     def params(self) -> SimulationParameters:
@@ -116,6 +133,11 @@ class BeepSimulator:
     def topology(self) -> Topology:
         """The network topology."""
         return self._topology
+
+    @property
+    def session(self) -> BroadcastSession:
+        """The amortised round engine driving the simulation."""
+        return self._session
 
     def run_broadcast_congest(
         self,
@@ -139,16 +161,8 @@ class BeepSimulator:
                 if message is not None:
                     check_message(message, self._params.message_bits)
                 broadcasts.append(message)
-            outcome = simulate_broadcast_round(
-                self._topology,
-                broadcasts,
-                self._params,
-                seed=self._seed,
-                round_offset=round_offset,
-                policy=self._policy,
-                num_decoys=self._num_decoys,
-                channel=self._channel,
-                codes=self._codes,
+            outcome = self._session.run_round(
+                broadcasts, round_offset=round_offset
             )
             round_offset += outcome.beep_rounds_used
             stats.record_round(

@@ -1,0 +1,83 @@
+"""The :class:`SimulationBackend` protocol shared by all execution engines.
+
+A backend owns the two carrier-sense primitives everything above it is
+built from:
+
+* :meth:`SimulationBackend.run_schedule` — execute a fixed boolean
+  ``(n, rounds)`` beep schedule and return the heard matrix;
+* :meth:`SimulationBackend.neighbor_or` — one round's OR-of-neighbours for
+  the step-by-step :class:`~repro.beeping.BeepingNetwork` engine.
+
+Backends are interchangeable: every implementation must be *bit-identical*
+to :class:`~repro.engine.dense.DenseBackend` on the same inputs, including
+under :class:`~repro.beeping.noise.BernoulliNoise` (the noise stream is
+keyed by ``(seed, round)``, so the flip pattern is a pure function of the
+inputs, not of the execution strategy).  This contract is property-tested
+in ``tests/beeping/test_batch.py`` and ``tests/engine/test_backends.py``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, ClassVar
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..beeping.noise import NoiseModel
+    from ..graphs import Topology
+
+__all__ = ["SimulationBackend", "validate_schedule"]
+
+
+def validate_schedule(topology: "Topology", schedule: np.ndarray) -> np.ndarray:
+    """Coerce a beep schedule to boolean and check its shape against ``topology``."""
+    schedule = np.asarray(schedule, dtype=bool)
+    if schedule.ndim != 2:
+        raise ConfigurationError("schedule must be an (n, rounds) matrix")
+    if schedule.shape[0] != topology.num_nodes:
+        raise ConfigurationError(
+            f"schedule has {schedule.shape[0]} rows, expected "
+            f"{topology.num_nodes}"
+        )
+    return schedule
+
+
+class SimulationBackend(ABC):
+    """Executes beeping-model primitives over a :class:`~repro.graphs.Topology`.
+
+    Backends are stateless (all state lives in the topology and channel), so
+    a single instance can be shared freely across sessions and threads.
+    """
+
+    #: Registry name of the backend (``"dense"``, ``"bitpacked"``, ...).
+    name: ClassVar[str]
+
+    @abstractmethod
+    def run_schedule(
+        self,
+        topology: "Topology",
+        schedule: np.ndarray,
+        channel: "NoiseModel | None" = None,
+        start_round: int = 0,
+    ) -> np.ndarray:
+        """Execute a fixed beep schedule and return what every device hears.
+
+        ``schedule`` is a boolean ``(n, rounds)`` matrix (``schedule[v, t]``
+        means device ``v`` beeps in phase round ``t``); the result is the
+        same-shaped heard matrix: own beep or neighbours' OR, passed through
+        the channel with the noise stream keyed from ``start_round``.
+        """
+
+    @abstractmethod
+    def neighbor_or(self, topology: "Topology", beeps: np.ndarray) -> np.ndarray:
+        """One round's carrier-sense: for each node, OR of neighbours' beeps.
+
+        ``beeps`` is a boolean ``(n,)`` vector; a node's own beep does not
+        contribute to its own entry.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,33 @@
+"""The scipy-CSR/numpy reference backend.
+
+This is the seed implementation of ``run_schedule`` extracted verbatim: a
+sparse boolean matrix product for the OR-of-neighbours, then the channel
+applied to the dense heard matrix.  It defines the bit-exact semantics
+every other backend must reproduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SimulationBackend, validate_schedule
+
+__all__ = ["DenseBackend"]
+
+
+class DenseBackend(SimulationBackend):
+    """Dense boolean execution over the CSR adjacency matrix."""
+
+    name = "dense"
+
+    def run_schedule(self, topology, schedule, channel=None, start_round=0):
+        if channel is None:
+            from ..beeping.noise import NoiselessChannel
+
+            channel = NoiselessChannel()
+        schedule = validate_schedule(topology, schedule)
+        received = topology.neighbor_or(schedule) | schedule
+        return channel.apply(received, start_round)
+
+    def neighbor_or(self, topology, beeps):
+        return topology.neighbor_or(beeps)

@@ -14,9 +14,29 @@ import sys
 import time
 from typing import Sequence
 
+from ..engine import (
+    available_backends,
+    get_default_backend,
+    set_default_backend,
+)
 from .registry import EXPERIMENTS, get_experiment, list_experiments
 
 __all__ = ["main"]
+
+
+def _experiment_id_summary() -> str:
+    """Compact range summary of the registered ids, e.g. ``a01..a03, e01..e16``.
+
+    Generated from :data:`EXPERIMENTS` so the help text can never drift
+    from the registry again.
+    """
+    groups: dict[str, list[str]] = {}
+    for key in sorted(EXPERIMENTS):
+        groups.setdefault(key.rstrip("0123456789"), []).append(key)
+    return ", ".join(
+        keys[0] if len(keys) == 1 else f"{keys[0]}..{keys[-1]}"
+        for keys in groups.values()
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -28,7 +48,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (e01..e15) or 'all'; empty lists experiments",
+        help=f"experiment ids ({_experiment_id_summary()}) or 'all'; "
+        "empty lists experiments",
     )
     parser.add_argument(
         "--full",
@@ -37,6 +58,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="master seed (default 0)"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", *available_backends()),
+        default=None,
+        help="simulation backend for beep-schedule execution; all choices "
+        "are bit-identical (default: auto = pick by schedule size)",
     )
     args = parser.parse_args(argv)
 
@@ -51,15 +79,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     if len(selected) == 1 and selected[0].lower() == "all":
         selected = sorted(EXPERIMENTS)
 
-    for experiment_id in selected:
-        runner = get_experiment(experiment_id)
-        started = time.perf_counter()
-        tables = runner(quick=not args.full, seed=args.seed)
-        elapsed = time.perf_counter() - started
-        for table in tables:
-            print()
-            print(table.render())
-        print(f"\n[{experiment_id} completed in {elapsed:.1f}s]")
+    # The backend choice applies process-wide for the run (every layer —
+    # schedules, sessions, CONGEST transpilation — resolves through it),
+    # then is restored so callers of main() see no lingering state.
+    previous_backend = get_default_backend()
+    if args.backend is not None:
+        set_default_backend(args.backend)
+    try:
+        for experiment_id in selected:
+            runner = get_experiment(experiment_id)
+            started = time.perf_counter()
+            tables = runner(quick=not args.full, seed=args.seed)
+            elapsed = time.perf_counter() - started
+            for table in tables:
+                print()
+                print(table.render())
+            print(f"\n[{experiment_id} completed in {elapsed:.1f}s]")
+    finally:
+        set_default_backend(previous_backend)
     return 0
 
 

@@ -89,3 +89,116 @@ class TestEngineEquivalence:
         BeepingNetwork(t).run(protocols, max_rounds=30, stop_when_finished=False)
         for v in range(10):
             assert np.array_equal(heard_batch[v], protocols[v].heard)
+
+
+#: Mirrors repro.beeping.noise._WINDOW — start offsets are drawn around
+#: multiples of it so phases straddle noise-window boundaries.
+_NOISE_WINDOW = 4096
+
+
+class TestBackendEquivalence:
+    """DenseBackend and BitpackedBackend hear bit-identical matrices.
+
+    The offsets are drawn both uniformly and clustered around noise-window
+    boundaries, and the round counts are long enough that phases straddle
+    windows — the regime where the packed flip words must reproduce the
+    windowed Philox stream exactly.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        graph_seed=st.integers(0, 500),
+        start_round=st.one_of(
+            st.integers(0, 3 * _NOISE_WINDOW),
+            st.integers(_NOISE_WINDOW - 100, _NOISE_WINDOW + 100),
+            st.integers(2 * _NOISE_WINDOW - 70, 2 * _NOISE_WINDOW + 70),
+        ),
+        rounds=st.integers(1, 200),
+        density=st.floats(0.05, 0.9),
+    )
+    def test_bitpacked_equals_dense_noisy(
+        self, graph_seed, start_round, rounds, density
+    ):
+        t = Topology(gnp_graph(9, density, seed=graph_seed))
+        rng = np.random.default_rng(graph_seed + 1)
+        schedule = rng.random((9, rounds)) < 0.3
+        channel = BernoulliNoise(0.2, seed=5)
+        heard_dense = run_schedule(
+            t, schedule, channel, start_round=start_round, backend="dense"
+        )
+        heard_packed = run_schedule(
+            t, schedule, channel, start_round=start_round, backend="bitpacked"
+        )
+        assert np.array_equal(heard_dense, heard_packed)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        graph_seed=st.integers(0, 500),
+        rounds=st.integers(1, 150),
+    )
+    def test_bitpacked_equals_dense_noiseless(self, graph_seed, rounds):
+        t = Topology(gnp_graph(11, 0.3, seed=graph_seed))
+        rng = np.random.default_rng(graph_seed)
+        schedule = rng.random((11, rounds)) < 0.25
+        assert np.array_equal(
+            run_schedule(t, schedule, backend="dense"),
+            run_schedule(t, schedule, backend="bitpacked"),
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        start_round=st.integers(0, 2 * _NOISE_WINDOW),
+        phase_lengths=st.lists(st.integers(1, 120), min_size=2, max_size=5),
+    )
+    def test_chained_phases_match_across_backends(
+        self, start_round, phase_lengths
+    ):
+        """Phase chaining (as Algorithm 1 does between its two phases)
+        stays bit-identical when the backends differ per phase."""
+        t = Topology(gnp_graph(8, 0.35, seed=2))
+        rng = np.random.default_rng(7)
+        channel = BernoulliNoise(0.15, seed=11)
+        offset = start_round
+        for length in phase_lengths:
+            schedule = rng.random((8, length)) < 0.3
+            heard_dense = run_schedule(
+                t, schedule, channel, start_round=offset, backend="dense"
+            )
+            heard_packed = run_schedule(
+                t, schedule, channel, start_round=offset, backend="bitpacked"
+            )
+            assert np.array_equal(heard_dense, heard_packed)
+            offset += length
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        graph_seed=st.integers(0, 100),
+        start_round=st.integers(0, 2**16),
+        rounds=st.integers(1, 24),
+    )
+    def test_bitpacked_equals_per_round_engine(
+        self, graph_seed, start_round, rounds
+    ):
+        """The packed path also matches the per-round engine directly."""
+        t = Topology(gnp_graph(8, 0.35, seed=graph_seed))
+        rng = np.random.default_rng(graph_seed + 1)
+        schedule = rng.random((8, rounds)) < 0.3
+        heard = run_schedule(
+            t,
+            schedule,
+            BernoulliNoise(0.2, seed=5),
+            start_round=start_round,
+            backend="bitpacked",
+        )
+        protocols = [
+            ScheduledProtocol(schedule[v], start_round=start_round)
+            for v in range(8)
+        ]
+        BeepingNetwork(t, BernoulliNoise(0.2, seed=5), backend="bitpacked").run(
+            protocols,
+            max_rounds=rounds,
+            start_round=start_round,
+            stop_when_finished=False,
+        )
+        for v in range(8):
+            assert np.array_equal(heard[v], protocols[v].heard), f"node {v}"

@@ -71,8 +71,9 @@ class TestAdversarialChannels:
         the native one (wrong deliveries), but the engine completes and
         accounts every failed round."""
         params = SimulationParameters(message_bits=6, max_degree=3, eps=0.1, c=5)
-        simulator = BeepSimulator(regular12, params=params, seed=0)
-        simulator._channel = AllFlipChannel()  # inject hostile channel
+        simulator = BeepSimulator(
+            regular12, params=params, seed=0, channel=AllFlipChannel()
+        )
         result = simulator.run_broadcast_congest(
             [GossipSum(horizon=3) for _ in range(12)], max_rounds=5
         )

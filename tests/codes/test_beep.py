@@ -79,6 +79,29 @@ class TestEncoding:
             code.encode_int(value)
         assert np.array_equal(code.encode_int(123), first)
 
+    def test_cache_eviction_is_lru_not_wholesale(self):
+        """Overflow evicts only the coldest entries: a codeword touched
+        every round survives an overflowing scan of fresh values."""
+        code = BeepCode(input_bits=10, k=2, c=3, seed=5)
+        code.CACHE_LIMIT = 8
+        hot = 123
+        code.encode_int(hot)
+        for value in range(40):
+            code.encode_int(value)
+            code.encode_int(hot)  # re-touch, as candidate scans do
+        assert hot in code._cache  # never evicted
+        assert len(code._cache) <= code.CACHE_LIMIT
+        # the coldest of the scanned values are gone, the freshest remain
+        assert 39 in code._cache
+        assert 0 not in code._cache
+
+    def test_cache_never_exceeds_limit(self):
+        code = BeepCode(input_bits=10, k=2, c=3, seed=5)
+        code.CACHE_LIMIT = 4
+        for value in range(20):
+            code.encode_int(value)
+            assert len(code._cache) <= 4
+
 
 class TestSuperimpositionDecoding:
     def test_noiseless_decode_recovers_sets(self):

@@ -88,11 +88,32 @@ class TestPayloadBits:
         with pytest.raises(ConfigurationError):
             congest_payload_bits(10, 5)
 
+    def test_boundary_exactly_one_payload_bit(self):
+        # 1 tag + 2*5 id bits + 1 payload bit = 12: the smallest legal budget
+        assert congest_payload_bits(12, 5) == 1
+
+    def test_boundary_zero_payload_bits_rejected(self):
+        with pytest.raises(ConfigurationError, match="too small"):
+            congest_payload_bits(11, 5)
+
+    def test_budget_smaller_than_ids_alone_rejected(self):
+        with pytest.raises(ConfigurationError):
+            congest_payload_bits(4, 8)
+
+    def test_error_message_names_the_budget(self):
+        with pytest.raises(ConfigurationError, match="budget 10"):
+            congest_payload_bits(10, 5)
+
     def test_payload_override_checked(self):
         with pytest.raises(ConfigurationError):
             CongestViaBroadcast(
                 PerNeighborValues(), ids=[0, 1], message_bits=24, payload_bits=30
             )
+
+    def test_wrapper_rejects_too_small_budget(self):
+        # the wrapper derives id_bits from the id space, then sizes payloads
+        with pytest.raises(ConfigurationError):
+            CongestViaBroadcast(PerNeighborValues(), ids=[0, 31], message_bits=11)
 
 
 class TestViolations:

@@ -6,8 +6,10 @@ import numpy as np
 import pytest
 
 from repro.core import CandidatePolicy, SimulationParameters, simulate_broadcast_round
+from repro.core.round_simulator import _with_message_decoys
 from repro.errors import ConfigurationError
 from repro.graphs import Topology, path_graph, random_regular_graph, star_graph
+from repro.rng import derive_rng
 
 
 class TestNoiselessRound:
@@ -156,3 +158,62 @@ class TestValidation:
         # each node's accepted set has exactly its neighbours' entries
         for v in range(6):
             assert len(outcome.accepted_sets[v]) == len(path6.neighbors[v])
+
+
+class TestMessageDecoys:
+    """Budget behaviour of the phase-2 decoy enumeration, especially in
+    message spaces too small to host the requested number of decoys."""
+
+    def test_space_exhausted_fills_entire_domain(self):
+        # 2-bit space: 3 real candidates leave room for exactly 1 decoy
+        result = _with_message_decoys(
+            [0, 1, 2], message_bits=2, num_decoys=16, rng=derive_rng(0, "t")
+        )
+        assert result == [0, 1, 2, 3]
+
+    def test_full_space_is_a_no_op(self):
+        result = _with_message_decoys(
+            [0, 1], message_bits=1, num_decoys=16, rng=derive_rng(0, "t")
+        )
+        assert result == [0, 1]
+
+    def test_zero_decoys_requested(self):
+        result = _with_message_decoys(
+            [3, 5], message_bits=4, num_decoys=0, rng=derive_rng(0, "t")
+        )
+        assert result == [3, 5]
+
+    def test_candidates_preserved_and_sorted(self):
+        result = _with_message_decoys(
+            [9, 2], message_bits=6, num_decoys=4, rng=derive_rng(1, "t")
+        )
+        assert {9, 2} <= set(result)
+        assert result == sorted(set(result))
+        assert len(result) == 6
+
+    def test_decoys_within_message_space(self):
+        bits = 3
+        result = _with_message_decoys(
+            [0], message_bits=bits, num_decoys=5, rng=derive_rng(2, "t")
+        )
+        assert all(0 <= value < (1 << bits) for value in result)
+        assert len(result) == 6  # 1 real + 5 decoys fit in an 8-value space
+
+    def test_attempt_cap_terminates_with_tight_space(self):
+        # 7 of 8 values taken: one decoy slot, mostly colliding draws.  The
+        # attempt cap (20 * num_decoys) guarantees termination either way.
+        result = _with_message_decoys(
+            list(range(7)), message_bits=3, num_decoys=1, rng=derive_rng(3, "t")
+        )
+        assert set(result) >= set(range(7))
+        assert len(result) <= 8
+
+    def test_simulated_round_in_tiny_message_space(self, path6):
+        """End-to-end: a round whose message space cannot host the default
+        16 decoys still runs and decodes."""
+        params = SimulationParameters(message_bits=2, max_degree=3, eps=0.0, c=3)
+        messages = [v % 4 for v in range(6)]
+        outcome = simulate_broadcast_round(
+            path6, messages, params, seed=11, num_decoys=16
+        )
+        assert outcome.success

@@ -4,8 +4,46 @@ from __future__ import annotations
 
 import pytest
 
+from repro.engine import get_default_backend
 from repro.errors import ConfigurationError
-from repro.experiments.harness import main
+from repro.experiments.harness import _experiment_id_summary, main
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestHelpText:
+    def test_id_summary_generated_from_registry(self):
+        summary = _experiment_id_summary()
+        assert summary == "a01..a03, e01..e16"
+
+    def test_summary_tracks_registry_contents(self):
+        # every registered id is inside one of the advertised ranges
+        summary = _experiment_id_summary()
+        for key in EXPERIMENTS:
+            prefix = key.rstrip("0123456789")
+            assert prefix in summary
+
+    def test_usage_advertises_all_registered_ids(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "e01..e16" in out and "a01..a03" in out
+        assert "e01..e15" not in out  # the stale hardcoded range
+
+
+class TestBackendFlag:
+    def test_backend_flag_accepted(self, capsys):
+        assert main(["e01", "--backend", "bitpacked"]) == 0
+        assert "[e01 completed" in capsys.readouterr().out
+
+    def test_backend_restored_after_run(self):
+        before = get_default_backend()
+        assert main(["e01", "--backend", "dense"]) == 0
+        assert get_default_backend() == before
+
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["e01", "--backend", "quantum"])
 
 
 class TestHarnessCLI:
