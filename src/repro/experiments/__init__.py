@@ -2,15 +2,45 @@
 
 Run from the command line::
 
-    python -m repro.experiments            # list experiments
-    python -m repro.experiments e06        # run one
-    python -m repro.experiments all        # run everything (slow)
+    python -m repro.experiments                 # list experiments
+    python -m repro.experiments e06             # run one
+    python -m repro.experiments all --jobs 4    # everything, 4 worker processes
 
-Each experiment function returns one or more :class:`Table` objects; the
-benchmarks in ``benchmarks/`` time the same entry points.
+or programmatically through the v2 API::
+
+    from repro.experiments import run
+
+    [result] = run(["e06"], profile="quick", seed=0)
+    print(result.to_json())           # structured rows + metadata
+    print(result.render_text())       # the classic monospace tables
+
+Each experiment module declares itself with the
+:func:`~repro.experiments.spec.experiment` decorator and receives a
+:class:`RunContext`; runners return :class:`Table` objects that the
+runner API wraps into :class:`ExperimentResult` records (JSON/CSV
+serializable).  The legacy ``module.run(quick=..., seed=...)`` calling
+convention keeps working through a compatibility shim on
+:class:`ExperimentSpec`.
 """
 
 from .table import Table
-from .registry import EXPERIMENTS, get_experiment, list_experiments
+from .context import RunContext
+from .spec import ExperimentSpec, experiment
+from .result import ExperimentResult, TableData
+from .registry import EXPERIMENTS, get_experiment, get_spec, all_specs, list_experiments
+from .api import run
 
-__all__ = ["Table", "EXPERIMENTS", "get_experiment", "list_experiments"]
+__all__ = [
+    "Table",
+    "TableData",
+    "RunContext",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "experiment",
+    "run",
+    "EXPERIMENTS",
+    "get_experiment",
+    "get_spec",
+    "all_specs",
+    "list_experiments",
+]

@@ -13,12 +13,20 @@ from __future__ import annotations
 from ..analysis.measurement import measure_round_success
 from ..core.parameters import SimulationParameters, practical_c
 from ..graphs import Topology, random_regular_graph
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="a01",
+    title="Ablation: practical constant c calibration",
+    claim="DESIGN.md 2.1",
+    tags=("ablation", "calibration"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Sweep c for each ε; report success rates and the chosen preset."""
     table = Table(
         title="A1: success rate vs redundancy constant c (ablation)",
@@ -37,13 +45,13 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
         ],
     )
     n, delta = 16, 4
-    topology = Topology(random_regular_graph(n, delta, seed=seed))
-    trials = 4 if quick else 15
+    topology = Topology(random_regular_graph(n, delta, seed=ctx.seed))
+    trials = 4 if ctx.quick else 15
     sweeps = {
         0.1: [3, 4, 5, 6],
         0.2: [3, 5, 6, 8],
     }
-    if not quick:
+    if not ctx.quick:
         sweeps[0.05] = [3, 4, 5]
         sweeps[0.3] = [4, 6, 8, 10]
     for eps in sorted(sweeps):
@@ -52,7 +60,9 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
             params = SimulationParameters(
                 message_bits=5, max_degree=delta, eps=eps, c=c
             )
-            stats = measure_round_success(topology, params, trials=trials, seed=seed)
+            stats = measure_round_success(
+                topology, params, trials=trials, seed=ctx.seed
+            )
             table.add_row(
                 eps,
                 c,

@@ -15,16 +15,23 @@ import numpy as np
 
 from .. import bitstrings as bs
 from ..codes import BeepCode
-from ..rng import derive_rng
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="a02",
+    title="Ablation: the (2e+1)/4 phase-1 threshold",
+    claim="Lemma 9",
+    tags=("ablation", "decoding"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Sweep the threshold factor; count false accepts/rejects directly."""
     eps = 0.2
-    code = BeepCode(input_bits=8, k=4, c=5, seed=seed)
+    code = BeepCode(input_bits=8, k=4, c=5, seed=ctx.seed)
     paper_factor = (2 * eps + 1) / 4
     table = Table(
         title="A2: phase-1 threshold factor ablation (Lemma 9)",
@@ -42,8 +49,8 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
             f"{paper_factor:.3f}",
         ],
     )
-    trials = 30 if quick else 150
-    rng = derive_rng(seed, "a02")
+    trials = 30 if ctx.quick else 150
+    rng = ctx.rng("a02")
     factors = [0.15, 0.25, paper_factor, 0.45, 0.60, 0.80]
     # Pre-generate noisy superimpositions and membership ground truth.
     cases: list[tuple[set[int], np.ndarray]] = []

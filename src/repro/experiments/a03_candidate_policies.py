@@ -17,12 +17,20 @@ from __future__ import annotations
 from ..core.parameters import CandidatePolicy, SimulationParameters
 from ..core.round_simulator import simulate_broadcast_round
 from ..graphs import Topology, path_graph, random_regular_graph
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="a03",
+    title="Ablation: candidate-set decoding policies",
+    claim="DESIGN.md 2.2",
+    tags=("ablation", "decoding"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Policy agreement at small scale; decoy-count robustness at scale."""
     agreement = Table(
         title="A3a: policy agreement on an exhaustively-scannable code",
@@ -31,7 +39,7 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
     topology = Topology(path_graph(5))
     params = SimulationParameters(message_bits=3, max_degree=2, eps=0.0, c=3)
     messages = [1, 2, 3, 4, 5]
-    for trial_seed in range(3 if quick else 10):
+    for trial_seed in range(3 if ctx.quick else 10):
         outcomes = {
             policy: simulate_broadcast_round(
                 topology, messages, params, seed=trial_seed, policy=policy
@@ -66,8 +74,8 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
             "with real transmitters",
         ],
     )
-    topology = Topology(random_regular_graph(14, 3, seed=seed))
-    trials = 3 if quick else 12
+    topology = Topology(random_regular_graph(14, 3, seed=ctx.seed))
+    trials = 3 if ctx.quick else 12
     for eps, c in [(0.0, 3), (0.1, 5)]:
         params = SimulationParameters(message_bits=5, max_degree=3, eps=eps, c=c)
         for decoys in (0, 16, 128):
@@ -78,7 +86,7 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
                     topology,
                     [(3 * v + 1) % 32 for v in range(14)],
                     params,
-                    seed=seed + trial,
+                    seed=ctx.seed + trial,
                     policy=CandidatePolicy.ORACLE_WITH_DECOYS,
                     num_decoys=decoys,
                 )

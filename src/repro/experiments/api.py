@@ -1,0 +1,304 @@
+"""Programmatic experiment runner: parallel execution + result cache.
+
+The v2 entry point the CLI is built on, usable directly::
+
+    from repro.experiments import api
+
+    results = api.run(["e02", "e06"], profile="quick", seed=0, jobs=2)
+    print(results[0].to_json())
+
+:func:`run` resolves experiment ids (or tag selections) to
+:class:`~repro.experiments.spec.ExperimentSpec` objects, executes each
+under a :class:`~repro.experiments.context.RunContext` — process-parallel
+across experiments when ``jobs > 1`` — and returns
+:class:`~repro.experiments.result.ExperimentResult` objects.  With
+``cache_dir`` set, results are replayed from / written to an on-disk JSON
+cache keyed by ``(id, profile, seed, backend)``.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..engine import get_default_backend, set_default_backend
+from ..errors import ConfigurationError
+from .registry import all_specs, get_spec
+from .result import ExperimentResult
+
+__all__ = ["run", "run_one", "resolve_ids", "cache_path"]
+
+
+def _backend_name(backend: "str | None") -> str:
+    """The backend label recorded in results and cache keys."""
+    if backend is not None:
+        return backend
+    default = get_default_backend()
+    return default if isinstance(default, str) else default.name
+
+
+def resolve_ids(
+    ids: "Sequence[str] | str | None" = None,
+    *,
+    tags: Iterable[str] | None = None,
+) -> list[str]:
+    """Expand a user selection into concrete experiment ids.
+
+    ``ids`` may be a list of ids, the string ``"all"``, or ``None``
+    (= all).  An explicit empty list resolves to no experiments — only
+    ``None``/``"all"`` mean everything, so a dynamically-built selection
+    that matched nothing cannot accidentally trigger a full run.
+    ``tags`` further restricts (or, with ``ids`` None, selects)
+    experiments carrying at least one of the given tags.  Unknown ids
+    raise :class:`ConfigurationError`.
+    """
+    if isinstance(ids, str):
+        ids = [ids]
+    if ids is None or any(item.lower() == "all" for item in ids):
+        selected = [spec.id for spec in all_specs()]
+    else:
+        selected = [get_spec(item).id for item in ids]
+    if tags:
+        wanted = {tag.strip().lower() for tag in tags if tag.strip()}
+        selected = [
+            experiment_id
+            for experiment_id in selected
+            if get_spec(experiment_id).matches_tags(wanted)
+        ]
+    # preserve order, drop duplicates
+    seen: set[str] = set()
+    return [x for x in selected if not (x in seen or seen.add(x))]
+
+
+def cache_path(
+    cache_dir: "str | Path",
+    experiment_id: str,
+    *,
+    profile: str,
+    seed: int,
+    backend: "str | None" = None,
+) -> Path:
+    """The on-disk cache location for one ``(id, profile, seed, backend)``."""
+    safe_profile = re.sub(r"[^A-Za-z0-9_.-]+", "-", profile)
+    name = (
+        f"{experiment_id}--{safe_profile}--seed{seed}"
+        f"--{_backend_name(backend)}.json"
+    )
+    return Path(cache_dir) / name
+
+
+def _load_cached(
+    path: Path,
+    *,
+    experiment_id: str,
+    profile: str,
+    seed: int,
+    backend_name: str,
+) -> "ExperimentResult | None":
+    """Read a cache entry; anything unreadable or mismatched is a miss.
+
+    Corrupt JSON (e.g. an interrupted write) and old-schema documents
+    must not wedge the runner, and the stored metadata must match the
+    request exactly — filename sanitization can collide (two profile
+    labels differing only in punctuation map to one file), so the file
+    name alone is not trusted.
+    """
+    try:
+        result = ExperimentResult.from_json(path.read_text())
+    except (OSError, ValueError, KeyError, TypeError, ConfigurationError):
+        return None
+    if (
+        result.experiment_id != experiment_id
+        or result.profile != profile
+        or result.seed != seed
+        or result.backend != backend_name
+    ):
+        return None
+    result.cached = True
+    return result
+
+
+def _write_cache(path: Path, result: ExperimentResult) -> None:
+    """Atomically persist a result (tmp file + rename within the dir)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(result.to_json())
+    tmp.replace(path)
+
+
+def run_one(
+    experiment_id: str,
+    *,
+    profile: str = "quick",
+    seed: int = 0,
+    backend: "str | None" = None,
+    progress: Callable[[str], None] | None = None,
+) -> ExperimentResult:
+    """Execute a single experiment in-process and return its result.
+
+    Sets the process-wide default backend for the duration of the run
+    (restored afterwards) so every simulation layer resolves to it.
+    """
+    spec = get_spec(experiment_id)
+    backend_name = _backend_name(backend)
+    previous_backend = get_default_backend()
+    if backend is not None:
+        set_default_backend(backend)
+    try:
+        ctx = spec.make_context(
+            profile=profile, seed=seed, backend=backend_name, progress=progress
+        )
+        started = time.perf_counter()
+        tables = spec.execute(ctx)
+        elapsed = time.perf_counter() - started
+    finally:
+        set_default_backend(previous_backend)
+    return ExperimentResult(
+        experiment_id=spec.id,
+        title=spec.title,
+        claim=spec.claim,
+        tags=spec.tags,
+        profile=profile,
+        seed=seed,
+        backend=backend_name,
+        elapsed=elapsed,
+        tables=tables,
+    )
+
+
+def _run_payload(payload: "tuple[str, str, int, str | None]") -> dict:
+    """Worker-process entry: run one experiment, return its dict form.
+
+    Results cross the process boundary as plain dicts (JSON-able) so the
+    executor never pickles specs, tables, or numpy scalars.
+    """
+    experiment_id, profile, seed, backend = payload
+    return run_one(
+        experiment_id, profile=profile, seed=seed, backend=backend
+    ).to_dict()
+
+
+def run(
+    ids: "Sequence[str] | str | None" = None,
+    *,
+    profile: str = "quick",
+    seed: int = 0,
+    backend: "str | None" = None,
+    jobs: int = 1,
+    tags: Iterable[str] | None = None,
+    cache_dir: "str | Path | None" = None,
+    progress: Callable[[str], None] | None = None,
+    on_result: Callable[[ExperimentResult], None] | None = None,
+) -> list[ExperimentResult]:
+    """Run experiments and return structured results, in selection order.
+
+    Parameters
+    ----------
+    ids:
+        Experiment ids, ``"all"``, or ``None`` for every registered
+        experiment (optionally narrowed by ``tags``).
+    profile:
+        ``"quick"``, ``"full"``, or a custom label (recorded verbatim).
+    seed:
+        Master seed handed to every experiment's context.
+    backend:
+        Simulation backend name (``None`` keeps the process default).
+    jobs:
+        Worker processes; ``1`` runs serially in-process, ``N > 1`` fans
+        experiments out over a :class:`ProcessPoolExecutor`.
+    tags:
+        Restrict the selection to specs carrying at least one tag.
+    cache_dir:
+        Directory of the on-disk result cache.  Hits (same id, profile,
+        seed, backend) are replayed without executing; misses are
+        executed then written back (unreadable entries count as misses).
+    progress:
+        Optional callback receiving one-line status messages.  With
+        ``jobs == 1`` it is also wired into each experiment's
+        :meth:`RunContext.report`; with ``jobs > 1`` callbacks cannot
+        cross the process boundary, so only per-experiment completion
+        messages are delivered.
+    on_result:
+        Optional callback invoked with each :class:`ExperimentResult` as
+        it completes, in selection order — the CLI streams text output
+        through this instead of waiting for the whole batch.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    selected = resolve_ids(ids, tags=tags)
+
+    hits: dict[str, ExperimentResult] = {}
+    pending: list[str] = []
+    for experiment_id in selected:
+        cached = None
+        if cache_dir is not None:
+            cached = _load_cached(
+                cache_path(
+                    cache_dir,
+                    experiment_id,
+                    profile=profile,
+                    seed=seed,
+                    backend=backend,
+                ),
+                experiment_id=experiment_id,
+                profile=profile,
+                seed=seed,
+                backend_name=_backend_name(backend),
+            )
+        if cached is not None:
+            hits[experiment_id] = cached
+        else:
+            pending.append(experiment_id)
+
+    results: dict[str, ExperimentResult] = {}
+
+    def finish(experiment_id: str, result: ExperimentResult) -> None:
+        results[experiment_id] = result
+        if cache_dir is not None and not result.cached:
+            _write_cache(
+                cache_path(
+                    cache_dir,
+                    experiment_id,
+                    profile=profile,
+                    seed=seed,
+                    backend=backend,
+                ),
+                result,
+            )
+        if progress is not None:
+            status = (
+                "cache hit" if result.cached else f"done in {result.elapsed:.1f}s"
+            )
+            progress(f"{experiment_id}: {status}")
+        if on_result is not None:
+            on_result(result)
+
+    if pending and jobs > 1:
+        payloads = [(x, profile, seed, backend) for x in pending]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            fresh = pool.map(_run_payload, payloads)  # yields in order
+            for experiment_id in selected:
+                if experiment_id in hits:
+                    finish(experiment_id, hits[experiment_id])
+                else:
+                    finish(experiment_id, ExperimentResult.from_dict(next(fresh)))
+    else:
+        for experiment_id in selected:
+            if experiment_id in hits:
+                finish(experiment_id, hits[experiment_id])
+            else:
+                finish(
+                    experiment_id,
+                    run_one(
+                        experiment_id,
+                        profile=profile,
+                        seed=seed,
+                        backend=backend,
+                        progress=progress,
+                    ),
+                )
+
+    return [results[experiment_id] for experiment_id in selected]

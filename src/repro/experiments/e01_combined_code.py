@@ -10,16 +10,24 @@ from __future__ import annotations
 
 from .. import bitstrings
 from ..codes import BeepCode, CombinedCode, DistanceCode
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e01",
+    title="Figure 1: combined-code construction",
+    claim="Figure 1",
+    tags=("codes", "figure"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Build a small combined code and render the Figure 1 layout."""
-    beep = BeepCode(input_bits=4, k=2, c=3, seed=seed)
+    beep = BeepCode(input_bits=4, k=2, c=3, seed=ctx.seed)
     distance = DistanceCode(
-        input_bits=4, delta=1.0 / 3.0, length=beep.weight, seed=seed
+        input_bits=4, delta=1.0 / 3.0, length=beep.weight, seed=ctx.seed
     )
     combined = CombinedCode(beep_code=beep, distance_code=distance)
 

@@ -10,13 +10,20 @@ from __future__ import annotations
 
 from .. import bitstrings
 from ..codes import BeepCode
-from ..rng import derive_rng
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e02",
+    title="Theorem 4: beep-code decodability",
+    claim="Theorem 4",
+    tags=("codes", "theorem"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Sweep (a, k, c) and measure the bad-subset fraction."""
     table = Table(
         title="E2: beep code (a,k,1/c) decodability (Thm 4 / Def 3)",
@@ -39,12 +46,12 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
         ],
     )
     combos = [(6, 2, 3), (6, 4, 3), (6, 2, 4), (6, 4, 4)]
-    if not quick:
+    if not ctx.quick:
         combos += [(8, 4, 4), (8, 8, 4), (8, 4, 6), (10, 6, 6)]
-    subsets_per_combo = 60 if quick else 200
-    rng = derive_rng(seed, "e02")
+    subsets_per_combo = 60 if ctx.quick else 200
+    rng = ctx.rng("e02")
     for a, k, c in combos:
-        code = BeepCode(input_bits=a, k=k, c=c, seed=seed)
+        code = BeepCode(input_bits=a, k=k, c=c, seed=ctx.seed)
         domain = code.num_codewords
         subsets = []
         for _ in range(subsets_per_combo):

@@ -8,12 +8,20 @@ Constructs random ``(a, δ)``-distance codes at the paper-strict length
 from __future__ import annotations
 
 from ..codes import DistanceCode, minimum_pairwise_distance, paper_c_delta
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e03",
+    title="Lemma 6: distance-code minimum distance",
+    claim="Lemma 6",
+    tags=("codes",),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Sweep δ and measure minimum pairwise distance vs the δb guarantee."""
     table = Table(
         title="E3: distance code (a,delta) minimum distance (Lemma 6)",
@@ -29,10 +37,10 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
         ],
     )
     sweep = [(6, 0.1), (6, 0.2), (6, 1.0 / 3.0)]
-    if not quick:
+    if not ctx.quick:
         sweep += [(8, 0.2), (8, 1.0 / 3.0), (5, 0.45)]
     for a, delta in sweep:
-        code = DistanceCode(input_bits=a, delta=delta, seed=seed)
+        code = DistanceCode(input_bits=a, delta=delta, seed=ctx.seed)
         measured = minimum_pairwise_distance(code)
         table.add_row(
             a,

@@ -11,12 +11,20 @@ from ..analysis.measurement import measure_round_success
 from ..analysis.theory import lemma10_failure_bound
 from ..core.parameters import SimulationParameters
 from ..graphs import Topology, random_regular_graph
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e05",
+    title="Lemma 10: phase-2 message recovery",
+    claim="Lemma 10",
+    tags=("simulation", "decoding"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Sweep (Δ, ε) and measure the phase-2 message-recovery rate."""
     table = Table(
         title="E5: phase-2 decoding, message recovery (Lemma 10)",
@@ -34,15 +42,17 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
             "strict constant for reference",
         ],
     )
-    n = 18 if quick else 30
-    deltas = [2, 4] if quick else [2, 4, 6, 8]
-    eps_values = [0.0, 0.1] if quick else [0.0, 0.05, 0.1, 0.2]
-    trials = 6 if quick else 25
+    n = 18 if ctx.quick else 30
+    deltas = [2, 4] if ctx.quick else [2, 4, 6, 8]
+    eps_values = [0.0, 0.1] if ctx.quick else [0.0, 0.05, 0.1, 0.2]
+    trials = 6 if ctx.quick else 25
     for delta in deltas:
-        topology = Topology(random_regular_graph(n, delta, seed=seed))
+        topology = Topology(random_regular_graph(n, delta, seed=ctx.seed))
         for eps in eps_values:
             params = SimulationParameters.for_network(n, delta, eps=eps, gamma=1)
-            stats = measure_round_success(topology, params, trials=trials, seed=seed)
+            stats = measure_round_success(
+                topology, params, trials=trials, seed=ctx.seed
+            )
             strict_reference = lemma10_failure_bound(n, c=12, gamma=1)
             table.add_row(
                 n,

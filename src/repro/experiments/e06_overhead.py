@@ -11,15 +11,23 @@ from __future__ import annotations
 from ..analysis.measurement import fit_linear_factor, measure_round_success
 from ..core.parameters import SimulationParameters
 from ..graphs import Topology, random_regular_graph
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e06",
+    title="Theorem 11: O(Delta log n) overhead",
+    claim="Theorem 11",
+    tags=("simulation", "overhead", "theorem"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Measure overhead vs Δ and vs n; fit the linear factor."""
     eps = 0.1
-    trials = 3 if quick else 10
+    trials = 3 if ctx.quick else 10
 
     by_delta = Table(
         title="E6a: overhead vs Delta at fixed n (Thm 11: O(Delta log n))",
@@ -32,13 +40,15 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
             "success rate",
         ],
     )
-    n = 24 if quick else 48
-    deltas = [2, 3, 4] if quick else [2, 3, 4, 6, 8, 10]
+    n = 24 if ctx.quick else 48
+    deltas = [2, 3, 4] if ctx.quick else [2, 3, 4, 6, 8, 10]
     xs, ys = [], []
     for delta in deltas:
-        topology = Topology(random_regular_graph(n, delta, seed=seed))
+        topology = Topology(random_regular_graph(n, delta, seed=ctx.seed))
         params = SimulationParameters.for_network(n, delta, eps=eps, gamma=1)
-        stats = measure_round_success(topology, params, trials=trials, seed=seed)
+        stats = measure_round_success(
+            topology, params, trials=trials, seed=ctx.seed
+        )
         overhead = params.overhead
         predictor = (delta + 1) * params.message_bits
         xs.append(predictor)
@@ -68,12 +78,12 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
         ],
     )
     delta = 3
-    sizes = [16, 64] if quick else [16, 64, 256, 1024]
+    sizes = [16, 64] if ctx.quick else [16, 64, 256, 1024]
     for n_value in sizes:
-        topology = Topology(random_regular_graph(n_value, delta, seed=seed))
+        topology = Topology(random_regular_graph(n_value, delta, seed=ctx.seed))
         params = SimulationParameters.for_network(n_value, delta, eps=eps, gamma=1)
         stats = measure_round_success(
-            topology, params, trials=max(2, trials // 2), seed=seed
+            topology, params, trials=max(2, trials // 2), seed=ctx.seed
         )
         predictor = (delta + 1) * params.message_bits
         by_n.add_row(

@@ -14,6 +14,8 @@ from ..congest.algorithm import CongestAlgorithm
 from ..core.parameters import SimulationParameters
 from ..core.transpiler import BeepSimulator
 from ..graphs import Topology, random_regular_graph
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run", "NeighborExchange"]
@@ -55,7 +57,13 @@ class NeighborExchange(CongestAlgorithm):
         return dict(self._received)
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e07",
+    title="Corollary 12: CONGEST at O(Delta^2 log n)",
+    claim="Corollary 12",
+    tags=("congest", "overhead"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Sweep Δ; measure beep rounds per CONGEST round vs Δ²B."""
     table = Table(
         title="E7: CONGEST via Broadcast CONGEST over beeps (Cor 12)",
@@ -74,13 +82,13 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
         ],
     )
     eps = 0.05
-    n = 12 if quick else 24
-    deltas = [2, 3] if quick else [2, 3, 4, 6]
+    n = 12 if ctx.quick else 24
+    deltas = [2, 3] if ctx.quick else [2, 3, 4, 6]
     payload_bits = 5
     for delta in deltas:
-        topology = Topology(random_regular_graph(n, delta, seed=seed))
+        topology = Topology(random_regular_graph(n, delta, seed=ctx.seed))
         params = SimulationParameters.for_network(n, delta, eps=eps, gamma=4)
-        simulator = BeepSimulator(topology, params=params, seed=seed)
+        simulator = BeepSimulator(topology, params=params, seed=ctx.seed)
         algorithms = [NeighborExchange(payload_bits) for _ in range(n)]
         result = simulator.run_congest(
             algorithms, max_rounds=1, payload_bits=payload_bits

@@ -19,17 +19,24 @@ from ..beeping.noise import BernoulliNoise, NoiselessChannel
 from ..core.parameters import SimulationParameters
 from ..core.round_simulator import simulate_broadcast_round
 from ..graphs import Topology, random_regular_graph
-from ..rng import derive_rng, derive_seed
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e08",
+    title="Section 1.3: ours vs TDMA baselines",
+    claim="Section 1.3",
+    tags=("baselines", "overhead"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Compare measured per-round overheads at matched (n, Δ, B, ε)."""
     eps = 0.1
-    n = 24 if quick else 48
-    deltas = [2, 3, 4] if quick else [2, 3, 4, 6, 8]
+    n = 24 if ctx.quick else 48
+    deltas = [2, 3, 4] if ctx.quick else [2, 3, 4, 6, 8]
     table = Table(
         title="E8: measured overhead per simulated round, ours vs baselines",
         headers=[
@@ -49,21 +56,23 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
             "costs (Delta^6 / Delta^4 log n) excluded - see E15",
         ],
     )
-    message_rng = derive_rng(seed, "e08-messages")
+    message_rng = ctx.rng("e08-messages")
     for delta in deltas:
-        topology = Topology(random_regular_graph(n, delta, seed=seed))
+        topology = Topology(random_regular_graph(n, delta, seed=ctx.seed))
         params = SimulationParameters.for_network(n, delta, eps=eps, gamma=1)
         message_bits = params.message_bits
         messages = [
             int(message_rng.integers(0, 1 << message_bits)) for _ in range(n)
         ]
         ours = simulate_broadcast_round(
-            topology, messages, params, seed=seed
+            topology, messages, params, seed=ctx.seed
         )
         coloring = greedy_distance2_coloring(topology)
         num_colors = max(coloring) + 1
         rho = agl_repetitions(n, eps)
-        channel = BernoulliNoise(eps, seed=derive_seed(seed, "e08-noise", delta))
+        channel = BernoulliNoise(
+            eps, seed=ctx.child_seed("e08-noise", delta)
+        )
         agl = simulate_round_tdma(
             topology,
             messages,
@@ -97,13 +106,13 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
         headers=["n", "Delta", "B", "ours", "TDMA", "TDMA/ours", "both ok"],
     )
     for delta in deltas:
-        topology = Topology(random_regular_graph(n, delta, seed=seed))
+        topology = Topology(random_regular_graph(n, delta, seed=ctx.seed))
         params = SimulationParameters.for_network(n, delta, eps=0.0, gamma=1)
         message_bits = params.message_bits
         messages = [
             int(message_rng.integers(0, 1 << message_bits)) for _ in range(n)
         ]
-        ours = simulate_broadcast_round(topology, messages, params, seed=seed)
+        ours = simulate_broadcast_round(topology, messages, params, seed=ctx.seed)
         coloring = greedy_distance2_coloring(topology)
         tdma = simulate_round_tdma(
             topology,

@@ -12,12 +12,20 @@ from ..core.local_broadcast import (
     run_local_broadcast_congest,
 )
 from ..graphs.hard_instances import local_broadcast_hard_instance
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e09",
+    title="Lemma 15: Local Broadcast upper bounds",
+    claim="Lemma 15",
+    tags=("local-broadcast",),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Sweep (Δ, B); verify correctness and exact round counts."""
     table = Table(
         title="E9: B-bit Local Broadcast upper bounds (Lemma 15)",
@@ -31,10 +39,14 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
             "correct",
         ],
     )
-    sweep = [(2, 4), (3, 8)] if quick else [(2, 4), (3, 8), (4, 16), (6, 24), (8, 32)]
+    sweep = (
+        [(2, 4), (3, 8)]
+        if ctx.quick
+        else [(2, 4), (3, 8), (4, 16), (6, 24), (8, 32)]
+    )
     for delta, message_bits in sweep:
         instance = local_broadcast_hard_instance(
-            delta, 2 * delta + 2, message_bits, seed=seed
+            delta, 2 * delta + 2, message_bits, seed=ctx.seed
         )
         bc = run_local_broadcast_bc(instance)
         table.add_row(

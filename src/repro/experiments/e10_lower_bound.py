@@ -14,12 +14,20 @@ from ..lower_bounds import (
     simulation_overhead_bounds,
     transcript_census,
 )
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e10",
+    title="Lemma 14: Omega(Delta^2 B) lower bound",
+    claim="Lemma 14",
+    tags=("lower-bound", "local-broadcast"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Tabulate the bounds and run the census."""
     bounds = Table(
         title="E10a: Lemma 14 counting bounds on K_(D,D) + isolated nodes",
@@ -57,10 +65,12 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
             "within 2x for this algorithm)",
         ],
     )
-    sweep = [(2, 3), (3, 4)] if quick else [(2, 3), (3, 4), (4, 4), (4, 6)]
-    trials = 50 if quick else 200
+    sweep = [(2, 3), (3, 4)] if ctx.quick else [(2, 3), (3, 4), (4, 4), (4, 6)]
+    trials = 50 if ctx.quick else 200
     for delta, message_bits in sweep:
-        result = transcript_census(delta, message_bits, trials=trials, seed=seed)
+        result = transcript_census(
+            delta, message_bits, trials=trials, seed=ctx.seed
+        )
         census.add_row(
             delta,
             message_bits,

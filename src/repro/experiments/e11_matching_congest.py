@@ -12,6 +12,8 @@ import math
 from ..algorithms import check_matching, run_matching_bc
 from ..graphs import Topology, gnp_graph, random_regular_graph
 from ..rng import derive_rng
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run", "measure_edge_decay"]
@@ -52,7 +54,13 @@ def measure_edge_decay(
     return fractions
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e11",
+    title="Lemmas 17-20: matching in BC",
+    claim="Lemmas 17-20",
+    tags=("matching",),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Validity + round scaling + edge decay."""
     rounds_table = Table(
         title="E11a: Algorithm 3 rounds and validity (Lemmas 17, 20)",
@@ -67,14 +75,14 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
             "finished",
         ],
     )
-    sizes = [16, 48] if quick else [16, 64, 256, 512]
+    sizes = [16, 48] if ctx.quick else [16, 64, 256, 512]
     for n in sizes:
         for name, graph in [
-            ("G(n, 4/n)", gnp_graph(n, min(1.0, 4.0 / n), seed=seed)),
-            ("4-regular", random_regular_graph(n, 4, seed=seed)),
+            ("G(n, 4/n)", gnp_graph(n, min(1.0, 4.0 / n), seed=ctx.seed)),
+            ("4-regular", random_regular_graph(n, 4, seed=ctx.seed)),
         ]:
             topology = Topology(graph)
-            result = run_matching_bc(topology, seed=seed)
+            result = run_matching_bc(topology, seed=ctx.seed)
             ok, _ = check_matching(topology, list(range(n)), result.outputs)
             iterations = max(0, (result.rounds_used - 1 + 3) // 4)
             rounds_table.add_row(
@@ -92,9 +100,9 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
         title="E11b: per-iteration edge removal (Lemma 19: >= 1/2 expected)",
         headers=["graph", "n", "iteration", "edges removed fraction"],
     )
-    n = 48 if quick else 128
-    topology = Topology(gnp_graph(n, 6.0 / n, seed=seed))
-    fractions = measure_edge_decay(topology, iterations=6, seed=seed)
+    n = 48 if ctx.quick else 128
+    topology = Topology(gnp_graph(n, 6.0 / n, seed=ctx.seed))
+    fractions = measure_edge_decay(topology, iterations=6, seed=ctx.seed)
     for index, fraction in enumerate(fractions):
         decay_table.add_row("G(n, 6/n)", n, index + 1, fraction)
     if fractions:

@@ -13,12 +13,20 @@ from ..algorithms import check_matching, make_matching_algorithms
 from ..core.parameters import SimulationParameters
 from ..core.transpiler import BeepSimulator
 from ..graphs import Topology, random_regular_graph
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e12",
+    title="Theorem 21: matching over noisy beeps",
+    claim="Theorem 21",
+    tags=("matching", "theorem"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Sweep (Δ, ε); run matching over beeps; verify validity and shape."""
     table = Table(
         title="E12: maximal matching over noisy beeps (Thm 21)",
@@ -38,9 +46,9 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
         ],
     )
     eps_values = [0.0, 0.1]
-    configs = [(10, 3)] if quick else [(12, 3), (16, 4), (24, 5)]
+    configs = [(10, 3)] if ctx.quick else [(12, 3), (16, 4), (24, 5)]
     for n, delta in configs:
-        topology = Topology(random_regular_graph(n, delta, seed=seed))
+        topology = Topology(random_regular_graph(n, delta, seed=ctx.seed))
         ids = list(range(n))
         for eps in eps_values:
             algorithms, budget = make_matching_algorithms(
@@ -50,7 +58,7 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
                 message_bits=budget, max_degree=delta, eps=eps,
                 c=SimulationParameters.for_network(n, delta, eps=eps).c,
             )
-            simulator = BeepSimulator(topology, params=params, seed=seed)
+            simulator = BeepSimulator(topology, params=params, seed=ctx.seed)
             result = simulator.run_broadcast_congest(algorithms, max_rounds=80)
             ok, _ = check_matching(topology, ids, result.outputs)
             log_n = math.log2(n)

@@ -16,12 +16,20 @@ from ..core.transpiler import BeepSimulator
 from ..graphs import Topology
 from ..graphs.hard_instances import matching_hard_instance
 from ..lower_bounds import matching_round_bound, matching_success_bound
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e13",
+    title="Theorem 22: matching lower bound",
+    claim="Theorem 22",
+    tags=("matching", "lower-bound"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Bound table plus hard-ensemble execution."""
     bounds = Table(
         title="E13a: Theorem 22 counting bound",
@@ -49,9 +57,9 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
             "respects bound",
         ],
     )
-    configs = [(2, 16)] if quick else [(2, 16), (3, 64), (4, 64)]
+    configs = [(2, 16)] if ctx.quick else [(2, 16), (3, 64), (4, 64)]
     for delta, n in configs:
-        graph, ids_map = matching_hard_instance(delta, n, seed=seed)
+        graph, ids_map = matching_hard_instance(delta, n, seed=ctx.seed)
         topology = Topology(graph)
         ids = [ids_map[v] for v in range(topology.num_nodes)]
         algorithms, budget = make_matching_algorithms(
@@ -60,7 +68,7 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
         params = SimulationParameters(
             message_bits=budget, max_degree=delta, eps=0.05, c=4
         )
-        simulator = BeepSimulator(topology, params=params, seed=seed, ids=ids)
+        simulator = BeepSimulator(topology, params=params, seed=ctx.seed, ids=ids)
         result = simulator.run_broadcast_congest(algorithms, max_rounds=60)
         ok, _ = check_matching(topology, ids, result.outputs)
         bound = matching_round_bound(delta, n)

@@ -16,12 +16,20 @@ from ..codes import (
     dyachkov_rykov_lower_bound,
     is_k_superimposed,
 )
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e14",
+    title="Section 1.4: code-length comparison",
+    claim="Section 1.4",
+    tags=("codes", "comparison"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Compare constructed lengths across (a, k)."""
     table = Table(
         title="E14: superimposed-code length, Kautz-Singleton vs beep code",
@@ -39,7 +47,7 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
             "codewords (skipped for large instances)",
         ],
     )
-    sweep = [(4, 2), (6, 3), (8, 4)] if quick else [
+    sweep = [(4, 2), (6, 3), (8, 4)] if ctx.quick else [
         (4, 2), (6, 3), (8, 4), (10, 6), (12, 8), (16, 12),
     ]
     for a, k in sweep:

@@ -18,12 +18,20 @@ from ..baselines import (
     ours_congest_overhead,
 )
 from ..core.parameters import paper_strict_c
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e15",
+    title="Sections 1.2-1.3: overhead landscape",
+    claim="Sections 1.2-1.3",
+    tags=("analytic", "landscape"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Tabulate the analytic landscape and the strict constants."""
     landscape = Table(
         title="E15a: analytic overhead landscape (constants = 1)",

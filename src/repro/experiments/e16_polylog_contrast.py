@@ -16,12 +16,20 @@ from ..core.parameters import SimulationParameters
 from ..core.transpiler import BeepSimulator
 from ..graphs import Topology, random_regular_graph
 from ..lower_bounds import matching_round_bound
+from .context import RunContext
+from .spec import experiment
 from .table import Table
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seed: int = 0) -> list[Table]:
+@experiment(
+    id="e16",
+    title="Section 7: polylog MIS vs poly-Delta matching",
+    claim="Section 7",
+    tags=("separation", "matching"),
+)
+def run(ctx: RunContext) -> list[Table]:
     """Race native beeping MIS against simulated matching across Δ."""
     table = Table(
         title="E16: beeping-model complexity split, MIS vs matching (Sec. 7)",
@@ -40,11 +48,11 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
             "beeping algorithm can beat Delta log n (Thm 22)",
         ],
     )
-    n = 16 if quick else 24
-    deltas = [3, 5] if quick else [3, 5, 7, 9]
+    n = 16 if ctx.quick else 24
+    deltas = [3, 5] if ctx.quick else [3, 5, 7, 9]
     for delta in deltas:
-        topology = Topology(random_regular_graph(n, delta, seed=seed))
-        mis = beeping_mis(topology, seed=seed)
+        topology = Topology(random_regular_graph(n, delta, seed=ctx.seed))
+        mis = beeping_mis(topology, seed=ctx.seed)
         mis_ok, _ = check_mis(topology, mis.in_mis)
 
         ids = list(range(n))
@@ -55,7 +63,7 @@ def run(quick: bool = True, seed: int = 0) -> list[Table]:
             message_bits=budget, max_degree=delta, eps=0.0, c=3
         )
         result = BeepSimulator(
-            topology, params=params, seed=seed
+            topology, params=params, seed=ctx.seed
         ).run_broadcast_congest(algorithms, max_rounds=80)
         match_ok, _ = check_matching(topology, ids, result.outputs)
 

@@ -1,25 +1,33 @@
-"""Command-line harness: run reproduction experiments and print tables.
+"""Command-line harness over the v2 runner API (:mod:`repro.experiments.api`).
 
 Usage::
 
-    python -m repro.experiments               # list experiments
-    python -m repro.experiments e06 e08       # run selected, quick mode
-    python -m repro.experiments all --full    # the full (slow) sweeps
+    python -m repro.experiments                          # list experiments
+    python -m repro.experiments e06 e08                  # run selected (quick)
+    python -m repro.experiments all --profile full       # the full (slow) sweeps
+    python -m repro.experiments e02 e06 --format json --jobs 2
+    python -m repro.experiments --tags matching --format csv --output out/
+
+The harness is a thin formatter: selection, parallelism, caching, and
+execution all live in :func:`repro.experiments.api.run`, which returns
+:class:`~repro.experiments.result.ExperimentResult` objects; ``--format``
+only chooses how those results are rendered (``text`` keeps the classic
+monospace table layout, streamed per experiment as in v1).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
+from pathlib import Path
 from typing import Sequence
 
-from ..engine import (
-    available_backends,
-    get_default_backend,
-    set_default_backend,
-)
-from .registry import EXPERIMENTS, get_experiment, list_experiments
+from ..engine import available_backends
+from ..errors import ConfigurationError
+from . import api
+from .registry import EXPERIMENTS, list_experiments
+from .result import ExperimentResult
 
 __all__ = ["main"]
 
@@ -39,8 +47,45 @@ def _experiment_id_summary() -> str:
     )
 
 
+def _render(result: "ExperimentResult", output_format: str) -> str:
+    """One experiment's output in ``output_format``, trailing newline included.
+
+    The single source of truth for per-result rendering — streamed
+    stdout, batch stdout, and ``--output`` files all go through it.
+    """
+    if output_format == "text":
+        return result.render_text() + "\n"
+    if output_format == "json":
+        return result.to_json() + "\n"
+    return result.to_csv()
+
+
+def _emit(
+    results: "list[ExperimentResult]",
+    *,
+    output_format: str,
+    output_dir: "str | None",
+) -> None:
+    """Render results to stdout, or to per-experiment files under a dir."""
+    if output_dir is not None:
+        directory = Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        suffix = {"text": "txt", "json": "json", "csv": "csv"}[output_format]
+        for result in results:
+            path = directory / f"{result.experiment_id}.{suffix}"
+            path.write_text(_render(result, output_format))
+            print(f"wrote {path}")
+        return
+    if output_format == "json":
+        # a single valid JSON document needs the whole array
+        print(json.dumps([result.to_dict() for result in results], indent=2))
+        return
+    for result in results:
+        sys.stdout.write(_render(result, output_format))
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code (0 ok, 2 usage error)."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the paper's tables and figures (DESIGN.md 3)",
@@ -52,9 +97,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "empty lists experiments",
     )
     parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="NAME",
+        help="execution profile: quick (default), full, or a custom label "
+        "recorded in result metadata",
+    )
+    parser.add_argument(
         "--full",
         action="store_true",
-        help="run the full parameter sweeps instead of the quick ones",
+        help="shorthand for --profile full (the v1 flag)",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="master seed (default 0)"
@@ -66,37 +118,94 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="simulation backend for beep-schedule execution; all choices "
         "are bit-identical (default: auto = pick by schedule size)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments in N parallel worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json", "csv"),
+        default="text",
+        help="output format (default text, the classic monospace tables)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help="write one file per experiment into DIR instead of stdout",
+    )
+    parser.add_argument(
+        "--tags",
+        action="append",
+        default=None,
+        metavar="TAG[,TAG...]",
+        help="restrict (or, without ids, select) experiments by spec tags",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="on-disk result cache keyed by (id, profile, seed, backend)",
+    )
     args = parser.parse_args(argv)
 
-    if not args.experiments:
+    # --full is shorthand for --profile full; the pair only conflicts
+    # when an explicit --profile disagrees with it.
+    if args.full and args.profile not in (None, "full"):
+        parser.error(f"--full conflicts with --profile {args.profile}")
+    profile = "full" if args.full else (args.profile or "quick")
+    tags = (
+        [tag for raw in args.tags for tag in raw.split(",") if tag]
+        if args.tags
+        else None
+    )
+
+    if not args.experiments and not tags:
         print("available experiments:")
         for key, description in list_experiments():
             print(f"  {key}  {description}")
-        print("run with: python -m repro.experiments <id>|all [--full]")
+        print("run with: python -m repro.experiments <id>|all [--profile full]")
         return 0
 
-    selected = list(args.experiments)
-    if len(selected) == 1 and selected[0].lower() == "all":
-        selected = sorted(EXPERIMENTS)
+    # text/csv to stdout stream per-experiment as results complete (the
+    # v1 behaviour — a long `all --profile full` run shows each table as
+    # it finishes); JSON needs the whole array, file output the whole set.
+    streaming = args.output is None and args.output_format in ("text", "csv")
 
-    # The backend choice applies process-wide for the run (every layer —
-    # schedules, sessions, CONGEST transpilation — resolves through it),
-    # then is restored so callers of main() see no lingering state.
-    previous_backend = get_default_backend()
-    if args.backend is not None:
-        set_default_backend(args.backend)
+    def stream_result(result) -> None:
+        """Print one result immediately in the selected format."""
+        sys.stdout.write(_render(result, args.output_format))
+        sys.stdout.flush()
+
+    def note_cache_activity(message: str) -> None:
+        """Flag replayed-vs-executed on stderr so stale hits are visible."""
+        print(f"[cache] {message}", file=sys.stderr)
+
     try:
-        for experiment_id in selected:
-            runner = get_experiment(experiment_id)
-            started = time.perf_counter()
-            tables = runner(quick=not args.full, seed=args.seed)
-            elapsed = time.perf_counter() - started
-            for table in tables:
-                print()
-                print(table.render())
-            print(f"\n[{experiment_id} completed in {elapsed:.1f}s]")
-    finally:
-        set_default_backend(previous_backend)
+        results = api.run(
+            args.experiments or None,
+            profile=profile,
+            seed=args.seed,
+            backend=args.backend,
+            jobs=args.jobs,
+            tags=tags,
+            cache_dir=args.cache,
+            progress=note_cache_activity if args.cache else None,
+            on_result=stream_result if streaming else None,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not results:
+        print(f"error: no experiments match tags {tags}", file=sys.stderr)
+        return 2
+
+    if not streaming:
+        _emit(results, output_format=args.output_format, output_dir=args.output)
     return 0
 
 

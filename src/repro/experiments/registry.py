@@ -1,82 +1,114 @@
-"""Registry mapping experiment ids to their entry points."""
+"""Experiment registry: decorator-populated, discovery-driven.
+
+v1 kept a hand-maintained dict of ``id -> (runner, description)`` plus a
+19-line import list that had to be edited in two places for every new
+experiment.  v2 replaces both: experiment modules self-register via the
+:func:`repro.experiments.spec.experiment` decorator, and this module
+merely *discovers* them — every ``eNN_*`` / ``aNN_*`` module in the
+package is imported once, which fires its decorator.
+
+The v1 surface (``EXPERIMENTS``, :func:`get_experiment`,
+:func:`list_experiments`) is preserved as a compatibility view over the
+spec registry: ``EXPERIMENTS[id]`` is still a ``(runner, description)``
+pair, where the runner is the :class:`ExperimentSpec` itself (callable
+under both the legacy ``(quick, seed)`` and the v2 ``RunContext``
+conventions).
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+import importlib
+import pkgutil
+import re
 
 from ..errors import ConfigurationError
-from . import (
-    a01_constant_calibration,
-    a02_decoding_threshold,
-    a03_candidate_policies,
-    e01_combined_code,
-    e02_beep_code,
-    e03_distance_code,
-    e04_phase1,
-    e05_phase2,
-    e06_overhead,
-    e07_congest,
-    e08_baselines,
-    e09_local_broadcast,
-    e10_lower_bound,
-    e11_matching_congest,
-    e12_matching_beeps,
-    e13_matching_lb,
-    e14_code_lengths,
-    e15_landscape,
-    e16_polylog_contrast,
+from .spec import (
+    ExperimentSpec,
+    add_registration_hook,
+    registered_spec,
+    registered_specs,
 )
-from .table import Table
+from .table import Table  # noqa: F401  (re-exported for v1 callers)
 
-__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
+__all__ = [
+    "EXPERIMENTS",
+    "discover",
+    "get_experiment",
+    "get_spec",
+    "all_specs",
+    "list_experiments",
+]
 
-#: id -> (runner, one-line description).  Runners take (quick, seed) and
-#: return a list of Tables.
-EXPERIMENTS: dict[str, tuple[Callable[..., list[Table]], str]] = {
-    "e01": (e01_combined_code.run, "Figure 1: combined-code construction"),
-    "e02": (e02_beep_code.run, "Theorem 4: beep-code decodability"),
-    "e03": (e03_distance_code.run, "Lemma 6: distance-code minimum distance"),
-    "e04": (e04_phase1.run, "Lemmas 8-9: phase-1 set recovery under noise"),
-    "e05": (e05_phase2.run, "Lemma 10: phase-2 message recovery"),
-    "e06": (e06_overhead.run, "Theorem 11: O(Delta log n) overhead"),
-    "e07": (e07_congest.run, "Corollary 12: CONGEST at O(Delta^2 log n)"),
-    "e08": (e08_baselines.run, "Section 1.3: ours vs TDMA baselines"),
-    "e09": (e09_local_broadcast.run, "Lemma 15: Local Broadcast upper bounds"),
-    "e10": (e10_lower_bound.run, "Lemma 14: Omega(Delta^2 B) lower bound"),
-    "e11": (e11_matching_congest.run, "Lemmas 17-20: matching in BC"),
-    "e12": (e12_matching_beeps.run, "Theorem 21: matching over noisy beeps"),
-    "e13": (e13_matching_lb.run, "Theorem 22: matching lower bound"),
-    "e14": (e14_code_lengths.run, "Section 1.4: code-length comparison"),
-    "e15": (e15_landscape.run, "Sections 1.2-1.3: overhead landscape"),
-    "e16": (
-        e16_polylog_contrast.run,
-        "Section 7: polylog MIS vs poly-Delta matching",
-    ),
-    "a01": (
-        a01_constant_calibration.run,
-        "Ablation: practical constant c calibration",
-    ),
-    "a02": (
-        a02_decoding_threshold.run,
-        "Ablation: the (2e+1)/4 phase-1 threshold",
-    ),
-    "a03": (
-        a03_candidate_policies.run,
-        "Ablation: candidate-set decoding policies",
-    ),
-}
+#: Experiment modules are named ``<group><number>_<slug>`` — e.g.
+#: ``e06_overhead`` or ``a01_constant_calibration``.
+_MODULE_PATTERN = re.compile(r"^[a-z]\d{2}_")
+
+_discovered = False
 
 
-def get_experiment(experiment_id: str) -> Callable[..., list[Table]]:
-    """Return the runner for an experiment id (e.g. ``"e06"``)."""
-    key = experiment_id.lower()
-    if key not in EXPERIMENTS:
+def discover() -> None:
+    """Import every experiment module in the package (idempotent).
+
+    Importing a module executes its :func:`~repro.experiments.spec.experiment`
+    decorator, which registers the spec.  New experiments therefore need
+    no registry edit at all — drop a ``eNN_*.py`` module in the package
+    and it is found.
+    """
+    global _discovered
+    if _discovered:
+        return
+    package = importlib.import_module(__package__)
+    for info in pkgutil.iter_modules(package.__path__):
+        if _MODULE_PATTERN.match(info.name):
+            importlib.import_module(f"{__package__}.{info.name}")
+    _discovered = True
+
+
+def all_specs() -> list[ExperimentSpec]:
+    """Every registered spec, ordered by id."""
+    discover()
+    return list(registered_specs())
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Look up a spec by id (case-insensitive)."""
+    discover()
+    spec = registered_spec(experiment_id)
+    if spec is None:
         raise ConfigurationError(
-            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(known.id for known in registered_specs())}"
         )
-    return EXPERIMENTS[key][0]
+    return spec
+
+
+#: v1 compatibility view: id -> (runner, one-line description).  Runners
+#: accept both the legacy ``(quick, seed)`` kwargs and a ``RunContext``.
+#: A plain dict (so every dict method — ``get``, ``setdefault``, ``==`` —
+#: behaves), populated eagerly at import, exactly when the v1 literal
+#: was, and kept in sync with late/replaced registrations via a
+#: registration hook.
+EXPERIMENTS: dict = {}
+
+
+def _sync_experiments_view(spec: ExperimentSpec) -> None:
+    """Mirror one registration into the v1 ``EXPERIMENTS`` dict."""
+    EXPERIMENTS[spec.id] = (spec, spec.title)
+
+
+discover()
+add_registration_hook(_sync_experiments_view)
+
+
+def get_experiment(experiment_id: str):
+    """Return the runner for an experiment id (e.g. ``"e06"``).
+
+    The runner is the :class:`ExperimentSpec`; calling it with the legacy
+    ``(quick=..., seed=...)`` signature still returns a list of tables.
+    """
+    return get_spec(experiment_id)
 
 
 def list_experiments() -> list[tuple[str, str]]:
-    """All (id, description) pairs in order."""
-    return [(key, description) for key, (_, description) in EXPERIMENTS.items()]
+    """All (id, description) pairs in id order."""
+    return [(spec.id, spec.title) for spec in all_specs()]

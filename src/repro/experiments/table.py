@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError
 
 __all__ = ["Table"]
@@ -49,8 +51,32 @@ class Table:
             )
         self.rows.append(tuple(values))
 
+    def _numeric_columns(self) -> list[bool]:
+        """Per-column flag: every body value is an int/float (bools aside).
+
+        Numeric columns are right-aligned on render so magnitude columns
+        (overheads, ratios, counts) scan vertically; anything mixed or
+        textual keeps the classic left alignment.
+        """
+        flags = []
+        for column in range(len(self.headers)):
+            values = [row[column] for row in self.rows]
+            flags.append(
+                bool(values)
+                and all(
+                    isinstance(value, (int, float, np.integer, np.floating))
+                    and not isinstance(value, (bool, np.bool_))
+                    for value in values
+                )
+            )
+        return flags
+
     def render(self) -> str:
-        """Render the table as aligned monospace text."""
+        """Render the table as aligned monospace text.
+
+        Numeric columns (including their headers) are right-aligned;
+        text and boolean columns are left-aligned.
+        """
         cells = [list(self.headers)] + [
             [_format_cell(value) for value in row] for row in self.rows
         ]
@@ -58,16 +84,20 @@ class Table:
             max(len(row[column]) for row in cells)
             for column in range(len(self.headers))
         ]
+        numeric = self._numeric_columns()
+
+        def align(row: list[str]) -> str:
+            return "  ".join(
+                cell.rjust(width) if is_numeric else cell.ljust(width)
+                for cell, width, is_numeric in zip(row, widths, numeric)
+            )
+
         lines = [self.title, "=" * len(self.title)]
-        header_line = "  ".join(
-            header.ljust(width) for header, width in zip(cells[0], widths)
-        )
+        header_line = align(cells[0])
         lines.append(header_line)
         lines.append("-" * len(header_line))
         for row in cells[1:]:
-            lines.append(
-                "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
-            )
+            lines.append(align(row))
         for note in self.notes:
             lines.append(f"  note: {note}")
         return "\n".join(lines)

@@ -27,6 +27,52 @@ class TestRegistry:
             assert description
 
 
+class TestSpecs:
+    def test_every_spec_carries_metadata(self):
+        from repro.experiments import all_specs
+
+        for spec in all_specs():
+            assert spec.title
+            assert spec.claim
+            assert spec.tags
+            assert spec.id == spec.id.lower()
+
+    def test_registry_view_behaves_like_dict(self):
+        assert "e06" in EXPERIMENTS
+        assert len(EXPERIMENTS) == 19
+        assert set(EXPERIMENTS.keys()) == {key for key, _ in EXPERIMENTS.items()}
+        runner, description = EXPERIMENTS["e06"]
+        assert runner.title == description
+
+    def test_duplicate_id_across_modules_rejected(self):
+        from repro.experiments.registry import discover
+        from repro.experiments.spec import experiment
+
+        discover()  # ensure e06_overhead owns its id before the clash
+        with pytest.raises(ConfigurationError):
+            # the decorator sees this test module claiming e06, which is
+            # already owned by e06_overhead
+            @experiment(id="e06", title="imposter")
+            def run(ctx):  # pragma: no cover - never executed
+                return []
+
+    def test_late_registration_reaches_experiments_view(self):
+        from repro.experiments import spec as spec_module
+        from repro.experiments.spec import experiment
+
+        try:
+
+            @experiment(id="x99", title="late registration", tags=("test",))
+            def run(ctx):  # pragma: no cover - never executed
+                return []
+
+            assert EXPERIMENTS["x99"][1] == "late registration"
+            assert get_experiment("x99") is EXPERIMENTS["x99"][0]
+        finally:
+            del spec_module._REGISTRY["x99"]
+            del EXPERIMENTS["x99"]
+
+
 @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
 def test_experiment_runs_and_returns_tables(experiment_id):
     runner = get_experiment(experiment_id)

@@ -10,14 +10,40 @@ from repro.experiments import Table
 
 class TestTable:
     def test_render_aligns_columns(self):
-        table = Table(title="T", headers=["a", "long header"])
-        table.add_row(1, 2)
-        table.add_row(100000, 3)
+        table = Table(title="T", headers=["name", "long header"])
+        table.add_row("x", "u")
+        table.add_row("something", "v")
         lines = table.render().splitlines()
         assert lines[0] == "T"
         header_line = lines[2]
-        assert header_line.startswith("a")
+        assert header_line.startswith("name")
         assert "long header" in header_line
+
+    def test_numeric_columns_right_aligned(self):
+        table = Table(title="T", headers=["label", "count"])
+        table.add_row("a", 1)
+        table.add_row("bb", 100000)
+        lines = table.render().splitlines()
+        # header and cells of the numeric column line up on their right edge
+        assert lines[2] == "label   count"
+        assert lines[4] == "a           1"
+        assert lines[5] == "bb     100000"
+
+    def test_text_and_bool_columns_left_aligned(self):
+        table = Table(title="T", headers=["lbl", "ok"])
+        table.add_row("a", True)
+        table.add_row("bbbb", False)
+        lines = table.render().splitlines()
+        assert lines[4] == "a     yes"
+        assert lines[5] == "bbbb  no "
+
+    def test_mixed_column_stays_left_aligned(self):
+        table = Table(title="T", headers=["value"])
+        table.add_row(12345)
+        table.add_row("-")
+        lines = table.render().splitlines()
+        assert lines[4] == "12345"
+        assert lines[5] == "-    "
 
     def test_bool_formatting(self):
         table = Table(title="T", headers=["ok"])
