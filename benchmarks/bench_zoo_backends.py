@@ -1,0 +1,54 @@
+"""Benchmarks: dense vs. bit-packed schedule execution across the zoo.
+
+Every topology family stresses the backends differently — CSR matvec
+cost follows edge count, while the packed path's segmented OR follows
+``n * rounds / 64`` — so the dense/bitpacked crossover moves with the
+family.  Each family runs the same 2048-round schedule on both backends
+at ``n = 256``; compare medians per family to see where packing pays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beeping import run_schedule
+from repro.graphs import Topology, build_family_graph
+
+#: Families benchmarked at n = 256 (powerlaw exercises hub-heavy rows;
+#: hypercube has log-degree; torus/caterpillar are sparse and regular).
+FAMILIES = ("expander", "hypercube", "torus", "caterpillar", "powerlaw", "barbell")
+
+N = 256
+ROUNDS = 2048
+
+
+def _workload(family: str) -> tuple[Topology, np.ndarray]:
+    topology = Topology(build_family_graph(family, N, seed=1))
+    rng = np.random.default_rng(0)
+    return topology, rng.random((N, ROUNDS)) < 0.05
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_zoo_schedule_dense(benchmark, family):
+    """Dense reference backend over one zoo family's schedule."""
+    topology, schedule = _workload(family)
+    heard = benchmark(run_schedule, topology, schedule, backend="dense")
+    assert heard.shape == schedule.shape
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_zoo_schedule_bitpacked(benchmark, family):
+    """Bit-packed backend over the identical schedule (bit-identical)."""
+    topology, schedule = _workload(family)
+    heard = benchmark(run_schedule, topology, schedule, backend="bitpacked")
+    assert heard.shape == schedule.shape
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_zoo_backends_agree(family):
+    """Not a timing: pin the invariant on every benchmarked workload."""
+    topology, schedule = _workload(family)
+    dense = run_schedule(topology, schedule, backend="dense")
+    packed = run_schedule(topology, schedule, backend="bitpacked")
+    assert np.array_equal(dense, packed)

@@ -29,15 +29,18 @@ from .errors import (
 )
 from .graphs import (
     Topology,
+    build_family_graph,
     complete_bipartite_with_isolated,
     complete_graph,
     cycle_graph,
     disk_graph,
+    family_names,
     gnp_graph,
     grid_graph,
     path_graph,
     random_regular_graph,
     star_graph,
+    topology_families,
 )
 from .beeping import (
     BeepingNetwork,
@@ -82,6 +85,9 @@ __all__ = [
     "ProtocolViolationError",
     "SimulationError",
     "Topology",
+    "build_family_graph",
+    "family_names",
+    "topology_families",
     "complete_bipartite_with_isolated",
     "complete_graph",
     "cycle_graph",

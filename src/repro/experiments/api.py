@@ -29,7 +29,7 @@ from ..errors import ConfigurationError
 from .registry import all_specs, get_spec
 from .result import ExperimentResult
 
-__all__ = ["run", "run_one", "resolve_ids", "cache_path"]
+__all__ = ["run", "run_one", "resolve_ids", "cache_path", "load_cached", "write_cache"]
 
 
 def _backend_name(backend: "str | None") -> str:
@@ -90,7 +90,7 @@ def cache_path(
     return Path(cache_dir) / name
 
 
-def _load_cached(
+def load_cached(
     path: Path,
     *,
     experiment_id: str,
@@ -121,7 +121,7 @@ def _load_cached(
     return result
 
 
-def _write_cache(path: Path, result: ExperimentResult) -> None:
+def write_cache(path: Path, result: ExperimentResult) -> None:
     """Atomically persist a result (tmp file + rename within the dir)."""
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
@@ -235,7 +235,7 @@ def run(
     for experiment_id in selected:
         cached = None
         if cache_dir is not None:
-            cached = _load_cached(
+            cached = load_cached(
                 cache_path(
                     cache_dir,
                     experiment_id,
@@ -258,7 +258,7 @@ def run(
     def finish(experiment_id: str, result: ExperimentResult) -> None:
         results[experiment_id] = result
         if cache_dir is not None and not result.cached:
-            _write_cache(
+            write_cache(
                 cache_path(
                     cache_dir,
                     experiment_id,

@@ -8,11 +8,15 @@ Usage::
     python -m repro.experiments e02 e06 --format json --jobs 2
     python -m repro.experiments --tags matching --format csv --output out/
 
+    python -m repro.experiments sweep --grid grid.toml   # scenario campaigns
+    python -m repro.experiments sweep --list-families    # the topology zoo
+
 The harness is a thin formatter: selection, parallelism, caching, and
-execution all live in :func:`repro.experiments.api.run`, which returns
-:class:`~repro.experiments.result.ExperimentResult` objects; ``--format``
-only chooses how those results are rendered (``text`` keeps the classic
-monospace table layout, streamed per experiment as in v1).
+execution all live in :func:`repro.experiments.api.run` (and, for the
+``sweep`` subcommand, :func:`repro.sweeps.run`), which return structured
+result objects; ``--format`` only chooses how those results are rendered
+(``text`` keeps the classic monospace table layout, streamed per
+experiment as in v1).
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ from . import api
 from .registry import EXPERIMENTS, list_experiments
 from .result import ExperimentResult
 
-__all__ = ["main"]
+__all__ = ["main", "sweep_main"]
 
 
 def _experiment_id_summary() -> str:
@@ -84,11 +88,161 @@ def _emit(
         sys.stdout.write(_render(result, output_format))
 
 
+def _sweep_emit(result, *, output_format: str, output_dir: "str | None") -> None:
+    """Render a :class:`~repro.sweeps.result.SweepResult` to stdout or files.
+
+    ``--output DIR`` writes all three artifacts (JSON document, long-form
+    points CSV, aggregate cells CSV) regardless of ``--format`` — that is
+    what the CI sweep job uploads.
+    """
+    if output_dir is not None:
+        directory = Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, content in (
+            ("sweep.json", result.to_json() + "\n"),
+            ("sweep_points.csv", result.points_csv()),
+            ("sweep_cells.csv", result.cells_csv()),
+        ):
+            path = directory / name
+            path.write_text(content)
+            print(f"wrote {path}")
+        return
+    if output_format == "json":
+        print(result.to_json())
+    elif output_format == "csv":
+        sys.stdout.write(f"# table: sweep / points\n{result.points_csv()}")
+        sys.stdout.write(f"# table: sweep / cells\n{result.cells_csv()}")
+    else:
+        print(result.render_text())
+
+
+def _list_families() -> int:
+    """Print the topology zoo (name, params, description); exit code 0."""
+    from ..graphs import topology_families
+
+    print("topology zoo families:")
+    for family in topology_families():
+        knobs = ", ".join(
+            f"{param.name}={param.default}" for param in family.params
+        )
+        suffix = f"  [{knobs}]" if knobs else ""
+        print(f"  {family.name:<12}{suffix}")
+        print(f"      {family.description}")
+    print("use in grid.toml: topologies = [\"<name>\", ...]; "
+          "per-family knobs under [params.<name>]")
+    return 0
+
+
+def sweep_main(argv: Sequence[str] | None = None) -> int:
+    """The ``sweep`` subcommand: run a grid campaign from a TOML spec.
+
+    Returns a process exit code (0 ok, 2 usage/validation error).  All
+    grid validation is eager — an unknown topology family or malformed
+    grid key prints a one-line diagnostic listing the known alternatives
+    and exits 2 before any simulation starts.
+    """
+    from .. import sweeps
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep",
+        description="Run a declarative topology-zoo sweep campaign",
+    )
+    parser.add_argument(
+        "--grid",
+        metavar="TOML",
+        default=None,
+        help="path to the grid spec (see examples/sweep_grid.toml)",
+    )
+    parser.add_argument(
+        "--list-families",
+        action="store_true",
+        help="list the topology zoo and exit",
+    )
+    parser.add_argument(
+        "--profile",
+        default="quick",
+        metavar="NAME",
+        help="execution profile: quick (default), full (scaled-up rounds), "
+        "or a custom label recorded in result metadata",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", *available_backends()),
+        default=None,
+        help="override the grid's backend axis (all backends are "
+        "bit-identical; this axis measures speed only)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate grid points in N parallel worker processes",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="on-disk point cache keyed by (point, profile, seed, backend)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json", "csv"),
+        default="text",
+        help="stdout format (default text: the aggregate cell table)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help="write sweep.json + points/cells CSV into DIR instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_families:
+        return _list_families()
+    if args.grid is None:
+        parser.error("--grid TOML is required (or --list-families)")
+
+    def note_progress(message: str) -> None:
+        """Per-point completion/cache lines on stderr, data on stdout."""
+        print(f"[sweep] {message}", file=sys.stderr)
+
+    try:
+        result = sweeps.run(
+            args.grid,
+            profile=args.profile,
+            backend=args.backend,
+            jobs=args.jobs,
+            cache_dir=args.cache,
+            progress=note_progress,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _sweep_emit(
+        result, output_format=args.output_format, output_dir=args.output
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns a process exit code (0 ok, 2 usage error)."""
+    """Entry point; returns a process exit code (0 ok, 2 usage error).
+
+    ``sweep`` as the first argument dispatches to :func:`sweep_main`;
+    everything else is the classic experiment-selection interface.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the paper's tables and figures (DESIGN.md 3)",
+        epilog="Scenario campaigns over the topology zoo: "
+        "'%(prog)s sweep --grid grid.toml' (see 'sweep --help').",
     )
     parser.add_argument(
         "experiments",

@@ -17,6 +17,19 @@ from .generators import (
     random_regular_graph,
     star_graph,
     balanced_tree_graph,
+    expander_graph,
+    hypercube_graph,
+    torus_graph,
+    barbell_graph,
+    caterpillar_graph,
+    powerlaw_graph,
+    FamilyParam,
+    TopologyFamily,
+    register_family,
+    get_family,
+    family_names,
+    topology_families,
+    build_family_graph,
 )
 from .validation import (
     assert_valid_topology,
@@ -41,6 +54,19 @@ __all__ = [
     "random_regular_graph",
     "star_graph",
     "balanced_tree_graph",
+    "expander_graph",
+    "hypercube_graph",
+    "torus_graph",
+    "barbell_graph",
+    "caterpillar_graph",
+    "powerlaw_graph",
+    "FamilyParam",
+    "TopologyFamily",
+    "register_family",
+    "get_family",
+    "family_names",
+    "topology_families",
+    "build_family_graph",
     "assert_valid_topology",
     "max_degree",
     "relabel_consecutive",

@@ -1,16 +1,32 @@
-"""Topology generators for experiments and tests.
+"""Topology generators and the registered topology-zoo catalog.
 
 All generators return :class:`networkx.Graph` objects with nodes labelled
 ``0..n-1``, ready for :class:`repro.graphs.Topology`.  Randomised generators
-take an explicit ``seed`` so experiments are reproducible.
+take an explicit ``seed`` so experiments are reproducible (sub-seeds are
+derived via :func:`derive_seed_int` / :func:`repro.rng.derive_rng`, never
+Python's ``hash``).
+
+Besides the plain generator functions, this module keeps the **topology
+zoo**: a registry of :class:`TopologyFamily` entries mapping a family name
+to an ``n``-first builder, a parameter schema, and the family's guarantees
+(connectivity promise, degree bound).  :func:`build_family_graph` is the
+one entry point the sweep engine (:mod:`repro.sweeps`) uses — it resolves
+parameters against the schema, builds the graph, and *checks* the promised
+invariants before handing the graph out, so a family that silently stopped
+honouring its guarantees fails loudly rather than skewing a campaign.
 """
 
 from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
 
 import networkx as nx
 
 from ..errors import ConfigurationError
 from ..rng import derive_rng
+from .validation import assert_valid_topology, max_degree
 
 __all__ = [
     "complete_bipartite_with_isolated",
@@ -23,6 +39,19 @@ __all__ = [
     "random_regular_graph",
     "star_graph",
     "balanced_tree_graph",
+    "expander_graph",
+    "hypercube_graph",
+    "torus_graph",
+    "barbell_graph",
+    "caterpillar_graph",
+    "powerlaw_graph",
+    "FamilyParam",
+    "TopologyFamily",
+    "register_family",
+    "get_family",
+    "family_names",
+    "topology_families",
+    "build_family_graph",
 ]
 
 
@@ -158,3 +187,653 @@ def derive_seed_int(seed: int, *context: object) -> int:
     from ..rng import derive_seed
 
     return derive_seed(seed, "nx", *context) % (2**32)
+
+
+def expander_graph(n: int, degree: int = 3, seed: int = 0) -> nx.Graph:
+    """A ``degree``-regular expander built as a random lift of ``K_{d+1}``.
+
+    Takes the complete graph on ``degree + 1`` vertices (the smallest
+    ``degree``-regular graph) and applies a uniformly random ``k``-lift
+    with ``k = n / (degree + 1)``: each base edge ``(u, v)`` becomes a
+    random perfect matching between the ``k`` copies of ``u`` and the
+    ``k`` copies of ``v``.  Random lifts of good expanders are near-Ramanujan
+    expanders with high probability (Amit & Linial, *Random Graph
+    Coverings I*, Combinatorica 2002; Bordenave 2015 for the spectral
+    bound), giving the zoo a **low-diameter, constant-degree** family —
+    the regime where the paper's ``O(Δ log n)`` overhead is smallest
+    relative to the information the network moves per round.
+
+    Guarantees: exactly ``n`` nodes, ``degree``-regular, connected
+    (disconnected lifts — exponentially rare — are retried on a derived
+    seed sequence, deterministically).  Requires ``degree >= 3`` and
+    ``n`` a positive multiple of ``degree + 1``.
+    """
+    if degree < 3:
+        raise ConfigurationError(
+            f"expander needs degree >= 3 (2-regular lifts are cycles), got {degree}"
+        )
+    base = degree + 1
+    if n < base or n % base != 0:
+        raise ConfigurationError(
+            f"expander needs n a positive multiple of degree+1={base}, got n={n}"
+        )
+    layers = n // base
+    rng = derive_rng(seed, "expander", n, degree)
+    base_edges = [(u, v) for u in range(base) for v in range(u + 1, base)]
+    for _attempt in range(8):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        for u, v in base_edges:
+            matching = rng.permutation(layers)
+            for layer in range(layers):
+                graph.add_edge(
+                    u * layers + layer, v * layers + int(matching[layer])
+                )
+        if nx.is_connected(graph):
+            return graph
+    raise ConfigurationError(
+        f"expander lift stayed disconnected after 8 attempts "
+        f"(n={n}, degree={degree}, seed={seed})"
+    )  # pragma: no cover - probability ~0 for degree >= 3
+
+
+def hypercube_graph(n: int) -> nx.Graph:
+    """The ``d``-dimensional hypercube ``Q_d`` on ``n = 2^d`` nodes.
+
+    Node ``v`` is adjacent to every ``v XOR 2^i`` — degree ``d = log2 n``
+    everywhere, diameter ``d``.  The classic interconnect topology (and
+    the shape of CXL/pod-style fabrics): degree *grows* with ``n`` as
+    ``log n``, so the simulation overhead picks up an extra ``log n``
+    factor relative to constant-degree families — a distinct scaling
+    regime for the zoo.
+
+    Guarantees: exactly ``n`` nodes, ``log2 n``-regular, connected.
+    Requires ``n`` a power of two, ``n >= 2``.
+    """
+    if n < 2 or n & (n - 1):
+        raise ConfigurationError(
+            f"hypercube needs n a power of two >= 2, got {n}"
+        )
+    dimension = n.bit_length() - 1
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for v in range(n):
+        for bit in range(dimension):
+            u = v ^ (1 << bit)
+            if u > v:
+                graph.add_edge(v, u)
+    return graph
+
+
+def torus_graph(n: int, rows: int | None = None) -> nx.Graph:
+    """A 2-D torus (wrap-around grid): 4-regular, diameter ``Θ(√n)``.
+
+    The standard bounded-degree mesh with no boundary effects — every
+    node looks identical, so decoding failures cannot hide at low-degree
+    border nodes the way they can on :func:`grid_graph`.  With ``rows``
+    unset the most nearly square factorisation ``rows × cols`` of ``n``
+    is used.
+
+    Guarantees: exactly ``n`` nodes, 4-regular, connected.  Requires a
+    factorisation with both sides ``>= 3`` (so wrap-around edges are
+    simple); primes and tiny ``n`` are rejected.
+    """
+    if rows is None:
+        rows = next(
+            (
+                candidate
+                for candidate in range(math.isqrt(n), 2, -1)
+                if n % candidate == 0 and n // candidate >= 3
+            ),
+            0,
+        )
+        if rows == 0:
+            raise ConfigurationError(
+                f"torus needs n = rows*cols with rows, cols >= 3; "
+                f"n={n} has no such factorisation"
+            )
+    if rows < 3 or n % rows != 0 or n // rows < 3:
+        raise ConfigurationError(
+            f"torus needs rows >= 3 dividing n with n/rows >= 3; "
+            f"got n={n}, rows={rows}"
+        )
+    cols = n // rows
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            graph.add_edge(v, ((r + 1) % rows) * cols + c)
+            graph.add_edge(v, r * cols + (c + 1) % cols)
+    return graph
+
+
+def _default_barbell_clique(n: int) -> int:
+    """The default barbell clique size — shared by the generator and the
+    zoo family's degree-bound promise so the two cannot drift."""
+    return max(3, n // 3)
+
+
+def barbell_graph(n: int, clique: int | None = None) -> nx.Graph:
+    """Two ``clique``-cliques joined by a path: dense cores, thin bridge.
+
+    The textbook worst case for anything that must move information
+    *between* dense regions: the two ``K_clique`` ends force a large
+    ``Δ`` (hence long codes), while every bit crossing the bridge path
+    is serialised through degree-2 nodes.  ``clique`` defaults to
+    ``max(3, n // 3)``, leaving a ``n - 2*clique``-node path.
+
+    Guarantees: exactly ``n`` nodes, connected, ``Δ = clique``.
+    Requires ``clique >= 3`` and ``n >= 2*clique``.
+    """
+    if clique is None:
+        clique = _default_barbell_clique(n)
+    if clique < 3:
+        raise ConfigurationError(f"barbell needs clique >= 3, got {clique}")
+    if n < 2 * clique:
+        raise ConfigurationError(
+            f"barbell needs n >= 2*clique; got n={n}, clique={clique}"
+        )
+    return nx.barbell_graph(clique, n - 2 * clique)
+
+
+def caterpillar_graph(n: int, legs: int = 2) -> nx.Graph:
+    """A caterpillar tree: a spine path with ``legs`` leaves per node.
+
+    Caterpillars (Harary & Schwenk, *The number of caterpillars*, 1973)
+    are the trees whose non-leaf nodes form a path — a deterministic,
+    maximally unbalanced tree family.  Leaves hear only their spine
+    node, so one noisy phase-1 decode at a spine node corrupts many
+    downstream leaves: a sharp stress test for the per-node error
+    accounting.  The spine has ``n // (legs+1)`` nodes; the remainder
+    is distributed one extra leaf per spine node from the front.
+
+    Guarantees: exactly ``n`` nodes, connected (a tree),
+    ``Δ <= legs + 3``.  Requires ``legs >= 0`` and a spine of at least
+    two nodes whose length covers the remainder.
+    """
+    if legs < 0:
+        raise ConfigurationError(f"caterpillar needs legs >= 0, got {legs}")
+    spine = n // (legs + 1)
+    extra = n - spine * (legs + 1)
+    if spine < 2 or extra > spine:
+        raise ConfigurationError(
+            f"caterpillar with legs={legs} needs n >= 2*(legs+1) "
+            f"(and n mod (legs+1) <= spine); got n={n}"
+        )
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for s in range(spine - 1):
+        graph.add_edge(s, s + 1)
+    next_leaf = spine
+    for s in range(spine):
+        for _ in range(legs + (1 if s < extra else 0)):
+            graph.add_edge(s, next_leaf)
+            next_leaf += 1
+    return graph
+
+
+def powerlaw_graph(n: int, attachment: int = 2, seed: int = 0) -> nx.Graph:
+    """A Barabási–Albert preferential-attachment graph (power-law degrees).
+
+    Each new node attaches to ``attachment`` existing nodes with
+    probability proportional to their degree (Barabási & Albert,
+    *Emergence of scaling in random networks*, Science 1999).  The
+    resulting heavy-tailed degree distribution is the shape of real
+    P2P/overlay deployments (cf. the PODS blockchain topologies in
+    PAPERS.md): a few hubs with degree ``≫`` the median force the
+    global ``Δ`` — and with it every code length — far above what the
+    typical node needs, the regime where worst-case-``Δ`` analyses are
+    most pessimistic.
+
+    Guarantees: exactly ``n`` nodes, connected.  No degree bound — the
+    hubs are the point.  Requires ``1 <= attachment < n``.
+    """
+    if attachment < 1 or attachment >= n:
+        raise ConfigurationError(
+            f"powerlaw needs 1 <= attachment < n, got attachment={attachment}, n={n}"
+        )
+    return nx.barabasi_albert_graph(
+        n, attachment, seed=derive_seed_int(seed, "powerlaw", n, attachment)
+    )
+
+
+# --------------------------------------------------------------------------
+# The topology zoo: a registered catalog of name -> builder + param schema.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FamilyParam:
+    """Schema entry for one tunable parameter of a topology family.
+
+    Attributes
+    ----------
+    name:
+        Parameter key as it appears in grid specs (``[params.<family>]``).
+    kind:
+        ``int`` or ``float`` — the accepted scalar type (bools rejected).
+    default:
+        Value used when the parameter is omitted; ``None`` marks an
+        optional parameter the builder derives itself (e.g. torus rows).
+    doc:
+        One-line description shown in listings and error messages.
+    minimum:
+        Inclusive lower bound checked at resolution time, when set.
+    """
+
+    name: str
+    kind: type
+    default: object
+    doc: str
+    minimum: float | None = None
+
+    def coerce(self, value: object, family: str) -> object:
+        """Validate and coerce one supplied value, or raise (one line)."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"family {family!r}: parameter {self.name!r} must be a "
+                f"{self.kind.__name__}, got {value!r}"
+            )
+        if self.kind is int:
+            if not isinstance(value, int):
+                raise ConfigurationError(
+                    f"family {family!r}: parameter {self.name!r} must be an "
+                    f"int, got {value!r}"
+                )
+        else:
+            value = float(value)
+        if self.minimum is not None and value < self.minimum:
+            raise ConfigurationError(
+                f"family {family!r}: parameter {self.name!r} must be >= "
+                f"{self.minimum}, got {value!r}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class TopologyFamily:
+    """One registered topology-zoo family.
+
+    Attributes
+    ----------
+    name:
+        Registry key used by grid specs and :func:`build_family_graph`.
+    builder:
+        ``(n, seed, params) -> nx.Graph`` adapter over a generator above.
+    description:
+        What the family is and why it stresses the algorithm.
+    params:
+        Schema of the accepted extra parameters.
+    connected:
+        Whether the family *promises* connected output (checked).
+    degree_bound:
+        Optional ``(n, params) -> Δ`` promise, checked after building.
+    citation:
+        Where the construction comes from (paper or textbook family).
+    """
+
+    name: str
+    builder: Callable[[int, int, dict], nx.Graph]
+    description: str
+    params: tuple[FamilyParam, ...] = ()
+    connected: bool = False
+    degree_bound: "Callable[[int, dict], int] | None" = None
+    citation: str = ""
+
+    def resolve_params(self, overrides: "Mapping | None") -> dict:
+        """Merge ``overrides`` into the schema defaults, validating both
+        the key set and every value; unknown keys raise a one-line
+        :class:`ConfigurationError` naming the allowed parameters."""
+        schema = {param.name: param for param in self.params}
+        resolved = {param.name: param.default for param in self.params}
+        for key, value in (overrides or {}).items():
+            if key not in schema:
+                allowed = ", ".join(sorted(schema)) or "(none)"
+                raise ConfigurationError(
+                    f"family {self.name!r} has no parameter {key!r}; "
+                    f"allowed: {allowed}"
+                )
+            if value is None:  # explicit None = keep the schema default
+                continue
+            resolved[key] = schema[key].coerce(value, self.name)
+        return resolved
+
+
+#: The zoo registry, keyed by family name (insertion order = listing order).
+_FAMILIES: dict[str, TopologyFamily] = {}
+
+
+def register_family(family: TopologyFamily) -> TopologyFamily:
+    """Add one family to the zoo; duplicate names are a configuration bug."""
+    if family.name in _FAMILIES:
+        raise ConfigurationError(
+            f"topology family {family.name!r} registered twice"
+        )
+    _FAMILIES[family.name] = family
+    return family
+
+
+def family_names() -> tuple[str, ...]:
+    """All registered family names, sorted."""
+    return tuple(sorted(_FAMILIES))
+
+
+def topology_families() -> tuple[TopologyFamily, ...]:
+    """All registered families, sorted by name."""
+    return tuple(_FAMILIES[name] for name in family_names())
+
+
+def get_family(name: str) -> TopologyFamily:
+    """Look up a zoo family by name.
+
+    Unknown names raise a one-line :class:`ConfigurationError` listing
+    every known family — the message the sweep CLI surfaces verbatim.
+    """
+    family = _FAMILIES.get(name)
+    if family is None:
+        raise ConfigurationError(
+            f"unknown topology family {name!r}; known: "
+            f"{', '.join(family_names())}"
+        )
+    return family
+
+
+def build_family_graph(
+    name: str,
+    n: int,
+    seed: int = 0,
+    params: "Mapping | None" = None,
+) -> nx.Graph:
+    """Build one validated zoo graph: the sweep engine's entry point.
+
+    Resolves ``params`` against the family schema, builds the graph, and
+    enforces the family's declared invariants — exactly ``n`` nodes with
+    labels ``0..n-1``, no self-loops, connectivity when promised, and the
+    degree bound when promised.  Violations raise
+    :class:`ConfigurationError` rather than producing a silently-wrong
+    campaign cell.
+    """
+    family = get_family(name)
+    if isinstance(n, bool) or not isinstance(n, int) or n < 1:
+        raise ConfigurationError(
+            f"family {name!r}: n must be a positive int, got {n!r}"
+        )
+    resolved = family.resolve_params(params)
+    graph = family.builder(n, seed, resolved)
+    if graph.number_of_nodes() != n:
+        raise ConfigurationError(
+            f"family {name!r} produced {graph.number_of_nodes()} nodes "
+            f"for n={n} (generator bug)"
+        )
+    assert_valid_topology(graph)
+    if family.connected and n > 1 and not nx.is_connected(graph):
+        raise ConfigurationError(
+            f"family {name!r} promised a connected graph but produced a "
+            f"disconnected one (n={n}, seed={seed})"
+        )
+    if family.degree_bound is not None:
+        bound = family.degree_bound(n, resolved)
+        realized = max_degree(graph)
+        if realized > bound:
+            raise ConfigurationError(
+                f"family {name!r} exceeded its degree bound: "
+                f"Delta={realized} > {bound} (n={n}, seed={seed})"
+            )
+    return graph
+
+
+def _near_square_grid(n: int) -> tuple[int, int]:
+    """The most nearly square ``rows x cols`` factorisation of ``n``."""
+    rows = next(
+        candidate
+        for candidate in range(math.isqrt(n), 0, -1)
+        if n % candidate == 0
+    )
+    return rows, n // rows
+
+
+def _balanced_tree_height(n: int, branching: int) -> int:
+    """Height ``h`` with ``1 + b + ... + b^h == n``, or raise (one line)."""
+    size, height = 1, 0
+    while size < n:
+        size += branching ** (height + 1)
+        height += 1
+    if size != n:
+        raise ConfigurationError(
+            f"tree with branching={branching} needs n in "
+            f"{{1, 1+{branching}, 1+{branching}+{branching}^2, ...}}; got n={n}"
+        )
+    return height
+
+
+register_family(
+    TopologyFamily(
+        name="complete",
+        builder=lambda n, seed, p: complete_graph(n),
+        description="K_n: every pair adjacent; Delta = n-1, the maximum "
+        "possible code length per node count.",
+        connected=True,
+        degree_bound=lambda n, p: n - 1,
+        citation="folklore",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="path",
+        builder=lambda n, seed, p: path_graph(n),
+        description="Path: diameter n-1, Delta <= 2; the slowest "
+        "information spread per round.",
+        connected=True,
+        degree_bound=lambda n, p: 2,
+        citation="folklore",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="cycle",
+        builder=lambda n, seed, p: cycle_graph(n),
+        description="Cycle: 2-regular, diameter n/2; the minimal "
+        "vertex-transitive family.",
+        connected=True,
+        degree_bound=lambda n, p: 2,
+        citation="folklore",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="star",
+        builder=lambda n, seed, p: star_graph(n),
+        description="Star: one hub of degree n-1; the worst single-point "
+        "superimposition (all leaves collide at the hub).",
+        connected=True,
+        degree_bound=lambda n, p: n - 1,
+        citation="folklore",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="grid",
+        builder=lambda n, seed, p: grid_graph(*_near_square_grid(n)),
+        description="2-D grid (most nearly square rows x cols): planar "
+        "sensor deployment, Delta <= 4, boundary effects included.",
+        connected=True,
+        degree_bound=lambda n, p: 4,
+        citation="folklore",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="tree",
+        builder=lambda n, seed, p: balanced_tree_graph(
+            p["branching"], _balanced_tree_height(n, p["branching"])
+        ),
+        description="Balanced branching-ary tree: unique paths, "
+        "logarithmic diameter; n must be a full tree size.",
+        params=(
+            FamilyParam(
+                "branching", int, 2, "children per internal node", minimum=2
+            ),
+        ),
+        connected=True,
+        degree_bound=lambda n, p: p["branching"] + 1,
+        citation="folklore",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="gnp",
+        builder=lambda n, seed, p: gnp_graph(n, p["p"], seed=seed),
+        description="Erdos-Renyi G(n, p): independent edges; degree "
+        "concentration around pn, possibly disconnected.",
+        params=(
+            FamilyParam("p", float, 0.2, "edge probability", minimum=0.0),
+        ),
+        connected=False,
+        degree_bound=None,
+        citation="Erdos & Renyi 1959",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="regular",
+        builder=lambda n, seed, p: random_regular_graph(
+            n, p["degree"], seed=seed
+        ),
+        description="Uniform random degree-regular graph: sharply "
+        "controlled Delta = degree, expander-like whp but without the "
+        "promise.",
+        params=(
+            FamilyParam("degree", int, 3, "degree of every node", minimum=1),
+        ),
+        connected=False,
+        degree_bound=lambda n, p: p["degree"],
+        citation="Bollobas 1980 (configuration model)",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="disk",
+        builder=lambda n, seed, p: disk_graph(
+            n, p["radius"], seed=seed, connect=True
+        ),
+        description="Random geometric (unit-disk) graph, wired connected: "
+        "a physical radio field with local clusters.",
+        params=(
+            FamilyParam("radius", float, 0.35, "connection radius", minimum=1e-9),
+        ),
+        connected=True,
+        degree_bound=None,
+        citation="Gilbert 1961",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="planted",
+        builder=lambda n, seed, p: complete_bipartite_with_isolated(
+            p["delta"], n
+        ),
+        description="The paper's planted hard instance (Lemma 14): "
+        "K_{delta,delta} plus isolated vertices — the lower-bound "
+        "topology, degree bounded by delta by construction.",
+        params=(
+            FamilyParam("delta", int, 3, "bipartite side size Delta", minimum=1),
+        ),
+        connected=False,
+        degree_bound=lambda n, p: p["delta"],
+        citation="Davies, PODC 2023, Lemma 14",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="expander",
+        builder=lambda n, seed, p: expander_graph(n, p["degree"], seed=seed),
+        description="Random lift of K_{d+1}: constant-degree expander, "
+        "logarithmic diameter — minimal overhead per information moved.",
+        params=(
+            FamilyParam("degree", int, 3, "regular degree (>= 3)", minimum=3),
+        ),
+        connected=True,
+        degree_bound=lambda n, p: p["degree"],
+        citation="Amit & Linial 2002 (random lifts)",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="hypercube",
+        builder=lambda n, seed, p: hypercube_graph(n),
+        description="Hypercube Q_d on n = 2^d nodes: degree grows as "
+        "log n, so overhead gains an extra log factor.",
+        connected=True,
+        degree_bound=lambda n, p: max(1, n.bit_length() - 1),
+        citation="folklore (interconnects)",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="torus",
+        builder=lambda n, seed, p: torus_graph(
+            n, p["rows"] if p["rows"] is not None else None
+        ),
+        description="2-D torus: 4-regular mesh with no boundary — every "
+        "node statistically identical.",
+        params=(
+            FamilyParam(
+                "rows", int, None, "row count (default: near-square)", minimum=3
+            ),
+        ),
+        connected=True,
+        degree_bound=lambda n, p: 4,
+        citation="folklore (meshes)",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="barbell",
+        builder=lambda n, seed, p: barbell_graph(n, p["clique"]),
+        description="Two cliques joined by a path: large Delta from the "
+        "cores, serialised bridge traffic.",
+        params=(
+            FamilyParam(
+                "clique", int, None, "clique size (default n//3)", minimum=3
+            ),
+        ),
+        connected=True,
+        degree_bound=lambda n, p: (
+            p["clique"] if p["clique"] is not None else _default_barbell_clique(n)
+        ),
+        citation="folklore",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="caterpillar",
+        builder=lambda n, seed, p: caterpillar_graph(n, p["legs"]),
+        description="Caterpillar tree: spine path with leaves; one spine "
+        "misdecode corrupts many leaves.",
+        params=(
+            FamilyParam("legs", int, 2, "leaves per spine node", minimum=0),
+        ),
+        connected=True,
+        degree_bound=lambda n, p: p["legs"] + 3,
+        citation="Harary & Schwenk 1973",
+    )
+)
+register_family(
+    TopologyFamily(
+        name="powerlaw",
+        builder=lambda n, seed, p: powerlaw_graph(
+            n, p["attachment"], seed=seed
+        ),
+        description="Barabasi-Albert preferential attachment: hub-dominated "
+        "P2P-overlay shape; a few hubs force the global Delta.",
+        params=(
+            FamilyParam(
+                "attachment", int, 2, "edges per arriving node", minimum=1
+            ),
+        ),
+        connected=True,
+        degree_bound=None,
+        citation="Barabasi & Albert 1999",
+    )
+)

@@ -1,0 +1,257 @@
+"""The sweep engine: execute a grid, point by point, cached and parallel.
+
+Each :class:`~repro.sweeps.grid.GridPoint` becomes one **amortised
+simulation**: the zoo graph is built (seed-derived), code parameters are
+sized from the realised maximum degree, and a single
+:class:`~repro.core.round_simulator.BroadcastSession` runs every
+Broadcast CONGEST round of the point — codes, channel, backend state and
+decoder matrices are constructed once per point, not once per round.
+
+Execution reuses the Experiment API v2 machinery wholesale: points fan
+out over a :class:`concurrent.futures.ProcessPoolExecutor` exactly like
+experiment ids do in :func:`repro.experiments.api.run`, and each point's
+record is cached on disk as an :class:`~repro.experiments.result.ExperimentResult`
+through the same :func:`~repro.experiments.api.cache_path` /
+:func:`~repro.experiments.api.load_cached` /
+:func:`~repro.experiments.api.write_cache` helpers — keyed by
+``(point slug, profile, seed, backend)``, so re-running a grid replays
+instantly and changing any axis value re-simulates only the new cells.
+
+Determinism: all randomness derives from ``(seed, family, n, eps,
+gamma)`` via :func:`repro.rng.derive_seed` — never from the backend — so
+``dense`` and ``bitpacked`` runs of one grid produce identical simulated
+numbers (the engine's bit-identical-backends invariant, surfaced at
+campaign scale).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Callable, Mapping
+
+from ..core.parameters import SimulationParameters
+from ..core.round_simulator import BroadcastSession
+from ..engine import get_backend
+from ..errors import ConfigurationError
+from ..experiments import api
+from ..experiments.result import ExperimentResult
+from ..experiments.table import Table
+from ..graphs import Topology, build_family_graph
+from ..rng import derive_rng, derive_seed, random_bits
+from .grid import GridPoint, GridSpec, load_grid
+from .result import POINT_FIELDS, SweepResult
+
+__all__ = ["run", "execute_point"]
+
+#: Title of the single table each point result carries.
+_POINT_TABLE_TITLE = "sweep-point"
+
+#: Long-form columns produced by the simulation itself (the rest —
+#: elapsed, cached — are attached by the runner).
+_MEASURED_FIELDS = tuple(
+    name for name in POINT_FIELDS if name not in ("elapsed", "cached")
+)
+
+
+def execute_point(point: GridPoint, profile: str = "quick") -> ExperimentResult:
+    """Simulate one grid point end to end and return its structured result.
+
+    Builds the validated zoo graph, sizes :class:`SimulationParameters`
+    from the realised ``Δ``, then drives one amortised
+    :class:`BroadcastSession` through ``point.rounds`` Broadcast CONGEST
+    rounds of uniformly random ``B``-bit messages (all nodes transmit).
+    Every stream — graph, channel, per-round strings, messages — derives
+    from ``(seed, family, n, eps, gamma)``, deliberately excluding the
+    backend so backends stay comparable cell by cell.
+    """
+    graph_seed = derive_seed(point.seed, "sweep-graph", point.family, point.n)
+    graph = build_family_graph(
+        point.family, point.n, seed=graph_seed, params=dict(point.params)
+    )
+    topology = Topology(graph)
+    params = SimulationParameters.for_network(
+        point.n, topology.max_degree, eps=point.eps, gamma=point.gamma
+    )
+    session_seed = derive_seed(
+        point.seed, "sweep-session", point.family, point.n, point.eps, point.gamma
+    )
+    started = time.perf_counter()
+    session = BroadcastSession(
+        topology, params, session_seed, backend=point.backend
+    )
+    message_rng = derive_rng(session_seed, "sweep-messages")
+    successes = 0
+    phase1_errors = 0
+    phase2_errors = 0
+    r_collisions = 0
+    for _round in range(point.rounds):
+        messages = [
+            random_bits(message_rng, params.message_bits)
+            for _ in range(point.n)
+        ]
+        outcome = session.run_round(messages)
+        successes += 1 if outcome.success else 0
+        phase1_errors += outcome.phase1_errors
+        phase2_errors += outcome.phase2_errors
+        r_collisions += 1 if outcome.r_collision else 0
+    elapsed = time.perf_counter() - started
+
+    table = Table(title=_POINT_TABLE_TITLE, headers=list(_MEASURED_FIELDS))
+    table.add_row(
+        point.family,
+        point.params_label(),
+        point.n,
+        point.eps,
+        point.backend,
+        point.seed,
+        topology.max_degree,
+        topology.num_edges,
+        params.message_bits,
+        params.rounds_per_simulated_round,
+        point.rounds,
+        successes,
+        successes / point.rounds,
+        phase1_errors,
+        phase2_errors,
+        r_collisions,
+    )
+    return ExperimentResult(
+        experiment_id=point.slug(),
+        title=f"sweep point: {point.label()}",
+        profile=profile,
+        seed=point.seed,
+        backend=point.backend,
+        elapsed=elapsed,
+        tables=[table],
+        tags=("sweep", point.family),
+    )
+
+
+def _execute_payload(payload: "tuple[GridPoint, str]") -> dict:
+    """Worker-process entry: run one point, return its dict form."""
+    point, profile = payload
+    return execute_point(point, profile=profile).to_dict()
+
+
+def _point_record(point: GridPoint, result: ExperimentResult) -> dict:
+    """Flatten one point's :class:`ExperimentResult` into a long-form row."""
+    [table] = [
+        candidate
+        for candidate in result.tables
+        if candidate.title == _POINT_TABLE_TITLE
+    ]
+    [record] = list(table.records())
+    record["elapsed"] = result.elapsed
+    record["cached"] = result.cached
+    return record
+
+
+def run(
+    grid: "GridSpec | Mapping | str | Path",
+    *,
+    profile: str = "quick",
+    backend: "str | None" = None,
+    jobs: int = 1,
+    cache_dir: "str | Path | None" = None,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Execute a sweep grid and return the aggregated :class:`SweepResult`.
+
+    Parameters
+    ----------
+    grid:
+        A :class:`GridSpec`, a dict (TOML-shaped or flat), or a path to
+        a ``grid.toml`` — validated eagerly before anything runs.
+    profile:
+        ``"quick"`` (grid's ``rounds`` per point), ``"full"`` (scaled
+        up), or a custom label treated as quick but recorded verbatim.
+    backend:
+        Override the grid's backend axis wholesale (the CLI
+        ``--backend`` flag); ``None`` keeps the grid's own axis.
+    jobs:
+        Worker processes; ``1`` runs points serially in-process.
+    cache_dir:
+        On-disk result cache shared with the experiment runner; hits are
+        replayed without simulating (flagged ``cached`` in the records).
+    progress:
+        Optional callback receiving one-line per-point status messages.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if backend is not None and backend != "auto":
+        get_backend(backend)  # eager: fail before validation/probing work
+    spec = load_grid(grid)
+    points = spec.expand(profile=profile, backend=backend)
+
+    hits: dict[int, ExperimentResult] = {}
+    pending: list[int] = []
+    for index, point in enumerate(points):
+        cached = None
+        if cache_dir is not None:
+            cached = api.load_cached(
+                api.cache_path(
+                    cache_dir,
+                    point.slug(),
+                    profile=profile,
+                    seed=point.seed,
+                    backend=point.backend,
+                ),
+                experiment_id=point.slug(),
+                profile=profile,
+                seed=point.seed,
+                backend_name=point.backend,
+            )
+        if cached is not None:
+            hits[index] = cached
+        else:
+            pending.append(index)
+
+    results: dict[int, ExperimentResult] = dict(hits)
+
+    def finish(index: int, result: ExperimentResult) -> None:
+        results[index] = result
+        if cache_dir is not None and not result.cached:
+            api.write_cache(
+                api.cache_path(
+                    cache_dir,
+                    points[index].slug(),
+                    profile=profile,
+                    seed=points[index].seed,
+                    backend=points[index].backend,
+                ),
+                result,
+            )
+        if progress is not None:
+            status = (
+                "cache hit" if result.cached else f"done in {result.elapsed:.1f}s"
+            )
+            progress(f"{points[index].label()}: {status}")
+
+    if pending and jobs > 1:
+        payloads = [(points[index], profile) for index in pending]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            fresh = pool.map(_execute_payload, payloads)  # yields in order
+            for index in pending:
+                finish(index, ExperimentResult.from_dict(next(fresh)))
+        for index in hits:
+            finish(index, hits[index])
+    else:
+        for index, point in enumerate(points):
+            if index in hits:
+                finish(index, hits[index])
+            else:
+                finish(index, execute_point(point, profile=profile))
+
+    # Record the grid *as executed*: a --backend override replaces the
+    # spec's backend axis in the serialized metadata too, so re-running
+    # the saved grid dict reproduces the run that made these points.
+    executed = spec.to_dict()
+    if backend is not None:
+        executed["grid"]["backends"] = [backend]
+    return SweepResult.collect(
+        profile,
+        executed,
+        (_point_record(points[index], results[index]) for index in range(len(points))),
+    )

@@ -10,6 +10,14 @@ from repro.engine import get_default_backend
 from repro.experiments.harness import _experiment_id_summary, main
 from repro.experiments.registry import EXPERIMENTS
 
+GRID_TOML = (
+    "[grid]\n"
+    'topologies = ["cycle", "path"]\n'
+    "sizes = [8]\n"
+    "noises = [0.0]\n"
+    "rounds = 1\n"
+)
+
 
 class TestHelpText:
     def test_id_summary_generated_from_registry(self):
@@ -167,3 +175,121 @@ class TestSelection:
         # EXPERIMENTS must behave like the v1 literal for every dict method
         runner, description = EXPERIMENTS.get("e06")
         assert runner.id == "e06" and description
+
+
+class TestSweepSubcommand:
+    def write_grid(self, tmp_path, content=GRID_TOML):
+        path = tmp_path / "grid.toml"
+        path.write_text(content)
+        return str(path)
+
+    def test_text_output(self, tmp_path, capsys):
+        assert main(["sweep", "--grid", self.write_grid(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep aggregate" in out
+        assert "[sweep completed: 2 points" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "--grid", self.write_grid(tmp_path), "--format", "json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 1
+        assert len(doc["points"]) == 2
+        assert doc["points"][0]["family"] == "cycle"
+        assert doc["cells"]
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "--grid", self.write_grid(tmp_path), "--format", "csv"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# table: sweep / points")
+        assert "# table: sweep / cells" in out
+
+    def test_output_dir_writes_artifacts(self, tmp_path, capsys):
+        grid = self.write_grid(tmp_path)
+        out_dir = tmp_path / "artifacts"
+        assert main(["sweep", "--grid", grid, "--output", str(out_dir)]) == 0
+        assert (out_dir / "sweep.json").is_file()
+        assert (out_dir / "sweep_points.csv").is_file()
+        assert (out_dir / "sweep_cells.csv").is_file()
+        json.loads((out_dir / "sweep.json").read_text())
+
+    def test_cache_round_trips(self, tmp_path, capsys):
+        grid = self.write_grid(tmp_path)
+        cache = str(tmp_path / "cache")
+        assert main(["sweep", "--grid", grid, "--cache", cache]) == 0
+        first = capsys.readouterr()
+        assert main(["sweep", "--grid", grid, "--cache", cache]) == 0
+        second = capsys.readouterr()
+        # replayed cells render identically (the footer's cached count
+        # and timing legitimately differ)
+        table = lambda text: text.split("\n\n[sweep completed")[0]
+        assert table(first.out) == table(second.out)
+        assert "(2 cached)" in second.out
+        assert "cache hit" in second.err
+
+    def test_backend_flag_is_speed_only(self, tmp_path, capsys):
+        grid = self.write_grid(tmp_path)
+        outputs = []
+        for backend in ("dense", "bitpacked"):
+            assert main(["sweep", "--grid", grid, "--backend", backend]) == 0
+            normalised = capsys.readouterr().out.replace(backend, "BACKEND")
+            outputs.append(
+                [
+                    line.split()
+                    for line in normalised.splitlines()[:-1]
+                    # rulers and the blank line vary with column widths
+                    if line.strip("-=" )
+                ]
+            )
+        assert outputs[0] == outputs[1]
+
+    def test_unknown_family_exits_2_one_line(self, tmp_path, capsys):
+        grid = self.write_grid(
+            tmp_path,
+            '[grid]\ntopologies = ["moebius"]\nsizes = [8]\nnoises = [0.0]\n',
+        )
+        assert main(["sweep", "--grid", grid]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line diagnostic, no traceback
+        assert "unknown topology family 'moebius'" in err
+        assert "expander" in err and "torus" in err
+
+    def test_malformed_grid_key_exits_2_one_line(self, tmp_path, capsys):
+        grid = self.write_grid(
+            tmp_path,
+            '[grid]\ntopologies = ["cycle"]\nsizes = [8]\nnoises = [0.0]\n'
+            "sizs = [1]\n",
+        )
+        assert main(["sweep", "--grid", grid]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "'sizs'" in err and "sizes" in err
+
+    def test_missing_grid_file_exits_2(self, tmp_path, capsys):
+        assert main(["sweep", "--grid", str(tmp_path / "nope.toml")]) == 2
+        assert "cannot read grid file" in capsys.readouterr().err
+
+    def test_list_families(self, capsys):
+        assert main(["sweep", "--list-families"]) == 0
+        out = capsys.readouterr().out
+        for name in ("expander", "hypercube", "torus", "powerlaw"):
+            assert name in out
+
+    def test_grid_flag_required(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep"])
+        assert excinfo.value.code == 2
+
+    def test_example_grid_file_is_valid(self):
+        # the README/CI grid must always stay loadable
+        from pathlib import Path
+
+        from repro.sweeps import load_grid
+
+        repo_root = Path(__file__).resolve().parents[2]
+        grid = load_grid(repo_root / "examples" / "sweep_grid.toml")
+        assert len(grid.topologies) >= 3
+        assert len(grid.sizes) >= 2 and len(grid.noises) >= 2

@@ -1,0 +1,215 @@
+"""End-to-end sweep engine tests: backends agree, cache replays, math holds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import sweeps
+from repro.errors import ConfigurationError
+from repro.sweeps import GridSpec, SweepResult
+from repro.sweeps.engine import execute_point
+from repro.sweeps.result import CELL_KEY, POINT_FIELDS
+
+#: The acceptance-criteria grid: >= 3 families x >= 2 sizes x >= 2 noises.
+ACCEPTANCE_GRID = {
+    "topologies": ["cycle", "path", "caterpillar"],
+    "sizes": [8, 12],
+    "noises": [0.0, 0.05],
+    "seeds": [0, 1],
+    "rounds": 1,
+}
+
+
+def _without_backend(cells: list[dict]) -> list[dict]:
+    return [
+        {key: value for key, value in cell.items() if key != "backend"}
+        for cell in cells
+    ]
+
+
+class TestEndToEnd:
+    def test_dense_and_bitpacked_identical_aggregates_and_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        dense = sweeps.run(ACCEPTANCE_GRID, backend="dense", cache_dir=cache)
+        packed = sweeps.run(ACCEPTANCE_GRID, backend="bitpacked", cache_dir=cache)
+        assert len(dense.points) == 3 * 2 * 2 * 2
+        assert not any(point["cached"] for point in dense.points)
+        # the engine invariant, surfaced at campaign scale: identical
+        # aggregate tables (and identical simulated numbers point by
+        # point), with only the backend label and timing differing
+        assert _without_backend(dense.cells()) == _without_backend(packed.cells())
+        timing_free = ("backend", "elapsed", "cached")
+        assert [
+            {k: v for k, v in point.items() if k not in timing_free}
+            for point in dense.points
+        ] == [
+            {k: v for k, v in point.items() if k not in timing_free}
+            for point in packed.points
+        ]
+        # second runs replay entirely from the on-disk cache
+        dense_again = sweeps.run(ACCEPTANCE_GRID, backend="dense", cache_dir=cache)
+        assert all(point["cached"] for point in dense_again.points)
+        assert _without_backend(dense_again.cells()) == _without_backend(
+            dense.cells()
+        )
+
+    def test_parallel_matches_serial(self):
+        grid = {
+            "topologies": ["cycle", "torus"],
+            "sizes": [9],
+            "noises": [0.0],
+            "seeds": [0, 1],
+            "rounds": 1,
+        }
+        serial = sweeps.run(grid)
+        parallel = sweeps.run(grid, jobs=3)
+        assert serial.cells() == parallel.cells()
+
+    def test_progress_reports_every_point(self):
+        messages = []
+        sweeps.run(
+            {**ACCEPTANCE_GRID, "topologies": ["cycle"], "seeds": [0]},
+            progress=messages.append,
+        )
+        assert len(messages) == 4  # 1 family x 2 sizes x 2 noises x 1 seed
+        assert all("cycle n=" in message for message in messages)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweeps.run(ACCEPTANCE_GRID, jobs=0)
+
+    def test_invalid_backend_override_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            sweeps.run(ACCEPTANCE_GRID, backend="densse")
+        assert "unknown backend 'densse'" in str(excinfo.value)
+
+    def test_backend_override_recorded_in_grid_metadata(self):
+        result = sweeps.run(
+            {"topologies": ["cycle"], "sizes": [8], "noises": [0.0], "rounds": 1},
+            backend="bitpacked",
+        )
+        # the serialized grid must describe the run that made the points
+        assert result.grid["grid"]["backends"] == ["bitpacked"]
+        assert sweeps.load_grid(result.grid).backends == ("bitpacked",)
+
+    def test_records_have_exact_schema(self):
+        result = sweeps.run(
+            {"topologies": ["cycle"], "sizes": [8], "noises": [0.0], "rounds": 1}
+        )
+        [record] = result.points
+        assert tuple(record) == POINT_FIELDS
+        assert record["family"] == "cycle"
+        assert record["rounds"] == 1
+        assert 0.0 <= record["success_rate"] <= 1.0
+        assert record["beep_rounds_per_round"] > 0
+
+
+class TestExecutePoint:
+    def test_deterministic_and_backend_independent(self):
+        grid = GridSpec.from_dict(
+            {"topologies": ["expander"], "sizes": [8], "noises": [0.05], "rounds": 2}
+        )
+        [dense_point] = grid.expand(backend="dense")
+        [packed_point] = grid.expand(backend="bitpacked")
+        first = execute_point(dense_point)
+        second = execute_point(dense_point)
+        packed = execute_point(packed_point)
+
+        def rows(result):
+            return result.tables[0].rows
+
+        assert rows(first) == rows(second)
+        # identical except the backend label column
+        patched = [
+            "dense" if value == "bitpacked" else value
+            for value in rows(packed)[0]
+        ]
+        assert patched == list(rows(first)[0])
+
+    def test_result_metadata(self):
+        grid = GridSpec.from_dict(
+            {"topologies": ["torus"], "sizes": [9], "noises": [0.0], "rounds": 1}
+        )
+        [point] = grid.expand()
+        result = execute_point(point, profile="smoke")
+        assert result.profile == "smoke"
+        assert result.tags == ("sweep", "torus")
+        assert result.experiment_id == point.slug()
+        assert result.elapsed > 0
+
+
+class TestSweepResult:
+    def test_aggregation_math(self):
+        template = {
+            field: 0 for field in POINT_FIELDS
+        }
+        points = []
+        for seed, rate in ((0, 1.0), (1, 0.5), (2, 0.0)):
+            record = dict(
+                template,
+                family="cycle",
+                params="",
+                n=8,
+                eps=0.0,
+                backend="auto",
+                seed=seed,
+                success_rate=rate,
+                delta=2,
+                cached=False,
+            )
+            points.append(record)
+        result = SweepResult(profile="quick", grid={}, points=points)
+        [cell] = result.cells()
+        assert cell["seeds"] == 3
+        assert cell["success_mean"] == pytest.approx(0.5)
+        assert cell["success_std"] == pytest.approx(
+            math.sqrt(((0.5) ** 2 + 0 + (0.5) ** 2) / 3)
+        )
+        assert cell["success_min"] == 0.0
+        assert cell["success_max"] == 1.0
+        assert cell["delta_mean"] == 2
+
+    def test_cells_group_by_key(self):
+        template = {field: 0 for field in POINT_FIELDS}
+        points = [
+            dict(template, family="cycle", params="", n=8, eps=0.0,
+                 backend="auto", seed=seed, success_rate=1.0, cached=False)
+            for seed in (0, 1)
+        ] + [
+            dict(template, family="cycle", params="", n=12, eps=0.0,
+                 backend="auto", seed=0, success_rate=1.0, cached=False)
+        ]
+        result = SweepResult(profile="quick", grid={}, points=points)
+        cells = result.cells()
+        assert len(cells) == 2
+        assert [cell["seeds"] for cell in cells] == [2, 1]
+        assert tuple(cells[0])[: len(CELL_KEY)] == CELL_KEY
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepResult(profile="quick", grid={}, points=[{"family": "x"}])
+
+    def test_json_round_trip(self):
+        result = sweeps.run(
+            {"topologies": ["cycle"], "sizes": [8], "noises": [0.0], "rounds": 1}
+        )
+        restored = SweepResult.from_json(result.to_json())
+        assert restored.points == result.points
+        assert restored.cells() == result.cells()
+        assert restored.grid == result.grid
+
+    def test_bad_schema_version_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepResult.from_dict({"schema_version": 99})
+
+    def test_csv_exports(self):
+        result = sweeps.run(
+            {"topologies": ["cycle"], "sizes": [8], "noises": [0.0], "rounds": 1}
+        )
+        points_csv = result.points_csv()
+        assert points_csv.splitlines()[0] == ",".join(POINT_FIELDS)
+        assert len(points_csv.splitlines()) == 2
+        cells_csv = result.cells_csv()
+        assert cells_csv.startswith("family,")

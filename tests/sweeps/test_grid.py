@@ -1,0 +1,215 @@
+"""GridSpec validation and expansion: everything fails fast and listed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweeps import GridSpec, load_grid
+
+MINIMAL = {"topologies": ["cycle"], "sizes": [8], "noises": [0.0]}
+
+
+def spec(**overrides) -> GridSpec:
+    payload = {**MINIMAL, **overrides}
+    return GridSpec.from_dict(payload)
+
+
+class TestValidation:
+    def test_minimal_flat_dict(self):
+        grid = spec()
+        assert grid.topologies == ("cycle",)
+        assert grid.backends == ("auto",)
+        assert grid.seeds == (0,)
+
+    def test_toml_shaped_dict(self):
+        grid = GridSpec.from_dict(
+            {"grid": MINIMAL, "params": {"cycle": {}}}
+        )
+        assert grid.sizes == (8,)
+
+    def test_unknown_topology_lists_known(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            spec(topologies=["cycle", "quantum-foam"])
+        message = str(excinfo.value)
+        assert "unknown topology family 'quantum-foam'" in message
+        assert "expander" in message and "\n" not in message
+
+    def test_unknown_grid_key_lists_known(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            spec(sizs=[8])
+        message = str(excinfo.value)
+        assert "'sizs'" in message and "sizes" in message
+        assert "\n" not in message
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            GridSpec.from_dict({"grid": MINIMAL, "grids": {}})
+        assert "'grids'" in str(excinfo.value)
+
+    def test_missing_required_keys_listed(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            GridSpec.from_dict({"topologies": ["cycle"]})
+        message = str(excinfo.value)
+        assert "'sizes'" in message and "'noises'" in message
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"sizes": [1]},
+            {"sizes": [8.5]},
+            {"sizes": [True]},
+            {"sizes": []},
+            {"sizes": 8},
+            {"noises": [0.5]},
+            {"noises": [-0.1]},
+            {"noises": ["low"]},
+            {"backends": ["quantum"]},
+            {"seeds": [-1]},
+            {"rounds": 0},
+            {"gamma": 0},
+            {"topologies": "cycle"},
+            {"topologies": [7]},
+        ],
+    )
+    def test_malformed_values_rejected_one_line(self, overrides):
+        with pytest.raises(ConfigurationError) as excinfo:
+            spec(**overrides)
+        assert "\n" not in str(excinfo.value)
+
+    def test_family_params_validated_eagerly(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            spec(
+                topologies=["expander"],
+                params={"expander": {"diameter": 2}},
+            )
+        assert "no parameter 'diameter'" in str(excinfo.value)
+
+    def test_params_for_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec(params={"quantum-foam": {"p": 1}})
+
+    def test_int_noise_accepted_as_float(self):
+        grid = spec(noises=[0])
+        assert grid.noises == (0.0,)
+
+    def test_infeasible_family_size_rejected_eagerly(self):
+        # feasibility is part of construction — a campaign must never
+        # fail (discarding completed points) halfway through execution
+        for topologies, sizes in (
+            (["cycle", "hypercube"], [12]),
+            (["tree"], [16]),
+            (["expander"], [9]),
+        ):
+            with pytest.raises(ConfigurationError) as excinfo:
+                spec(topologies=topologies, sizes=sizes)
+            message = str(excinfo.value)
+            assert "grid infeasible" in message and "\n" not in message
+
+
+class TestExpansion:
+    def test_cartesian_product_order(self):
+        grid = spec(
+            topologies=["cycle", "path"],
+            sizes=[8, 12],
+            noises=[0.0, 0.1],
+            seeds=[0, 1],
+        )
+        points = grid.expand()
+        assert len(points) == 2 * 2 * 2 * 2
+        # family-major, seed-minor order
+        assert [p.family for p in points[:8]] == ["cycle"] * 8
+        assert [p.seed for p in points[:2]] == [0, 1]
+
+    def test_backend_override_replaces_axis(self):
+        grid = spec(backends=["dense", "bitpacked"])
+        assert len(grid.expand()) == 2
+        points = grid.expand(backend="dense")
+        assert len(points) == 1 and points[0].backend == "dense"
+
+    def test_profile_scales_rounds(self):
+        grid = spec(rounds=2)
+        assert grid.expand(profile="quick")[0].rounds == 2
+        assert grid.expand(profile="full")[0].rounds == 6  # default 3x
+        assert grid.expand(profile="smoke")[0].rounds == 2
+
+    def test_explicit_full_rounds(self):
+        grid = spec(rounds=2, full_rounds=11)
+        assert grid.expand(profile="full")[0].rounds == 11
+
+    def test_points_carry_resolved_params(self):
+        grid = spec(topologies=["expander"])
+        [point] = grid.expand()
+        assert dict(point.params)["degree"] == 3  # schema default
+
+    def test_slug_is_filesystem_safe_and_distinct(self):
+        grid = spec(
+            topologies=["expander", "torus"],
+            sizes=[12, 16],
+            noises=[0.0, 0.05],
+        )
+        slugs = [point.slug() for point in grid.expand()]
+        assert len(set(slugs)) == len(slugs)
+        for slug in slugs:
+            assert slug == slug.strip("-")
+            assert all(c.isalnum() or c in "-_.=" for c in slug)
+
+    def test_slug_keeps_full_float_precision(self):
+        # %g-style truncation would collide distinct noise rates onto
+        # one cache key and replay the wrong cached numbers
+        a = spec(noises=[0.1234567]).expand()[0].slug()
+        b = spec(noises=[0.1234568]).expand()[0].slug()
+        assert a != b
+
+    def test_params_label_matches_slug_rendering(self):
+        [point] = spec(topologies=["expander"]).expand()
+        assert point.params_label() == "degree=3"
+        assert point.params_label() in point.slug()
+
+
+class TestLoading:
+    def test_from_toml_round_trip(self, tmp_path):
+        path = tmp_path / "grid.toml"
+        path.write_text(
+            '[grid]\ntopologies = ["cycle"]\nsizes = [8]\nnoises = [0.0]\n'
+            "[params.cycle]\n"
+        )
+        grid = GridSpec.from_toml(path)
+        assert grid.topologies == ("cycle",)
+
+    def test_invalid_toml_one_line(self, tmp_path):
+        path = tmp_path / "grid.toml"
+        path.write_text("[grid\n")
+        with pytest.raises(ConfigurationError) as excinfo:
+            GridSpec.from_toml(path)
+        assert "invalid TOML" in str(excinfo.value)
+        assert "\n" not in str(excinfo.value)
+
+    def test_missing_file_one_line(self, tmp_path):
+        with pytest.raises(ConfigurationError) as excinfo:
+            GridSpec.from_toml(tmp_path / "nope.toml")
+        assert "cannot read grid file" in str(excinfo.value)
+
+    def test_load_grid_coercions(self, tmp_path):
+        path = tmp_path / "grid.toml"
+        path.write_text(
+            '[grid]\ntopologies = ["cycle"]\nsizes = [8]\nnoises = [0.0]\n'
+        )
+        from_path = load_grid(path)
+        from_str = load_grid(str(path))
+        from_dict = load_grid(MINIMAL)
+        assert from_path == from_str == from_dict
+        assert load_grid(from_path) is from_path
+
+    def test_load_grid_rejects_other_types(self):
+        with pytest.raises(ConfigurationError):
+            load_grid(42)
+
+    def test_to_dict_round_trips(self):
+        grid = spec(
+            topologies=["expander"],
+            sizes=[10],
+            params={"expander": {"degree": 4}},
+            full_rounds=9,
+        )
+        assert GridSpec.from_dict(grid.to_dict()) == grid

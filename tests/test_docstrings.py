@@ -1,0 +1,33 @@
+"""The pydocstyle-lite gate must hold for the public API.
+
+Runs ``tools/check_docstrings.py`` (the same script CI invokes) against
+the in-repo sources, so a missing module/function docstring on the
+public surface — or an undocumented topology-zoo parameter — fails
+tier-1, not just the CI docs job.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_public_api_docstrings_clean():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docstrings.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, (
+        f"docstring gate failed:\n{completed.stdout}{completed.stderr}"
+    )
