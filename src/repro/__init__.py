@@ -58,6 +58,7 @@ from .congest import (
 )
 from .codes import BeepCode, CombinedCode, DistanceCode, KautzSingletonCode
 from .core import (
+    BatchedSession,
     BeepSimulator,
     BroadcastSession,
     CandidatePolicy,
@@ -111,6 +112,7 @@ __all__ = [
     "CombinedCode",
     "DistanceCode",
     "KautzSingletonCode",
+    "BatchedSession",
     "BeepSimulator",
     "BroadcastSession",
     "CandidatePolicy",

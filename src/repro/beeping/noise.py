@@ -15,6 +15,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..lru import LRUDict
 from ..rng import derive_rng
 
 __all__ = ["NoiseModel", "NoiselessChannel", "BernoulliNoise"]
@@ -59,6 +60,11 @@ class NoiselessChannel(NoiseModel):
 #: or in arbitrary batches yields identical noise.
 _WINDOW = 4096
 
+#: Flip windows kept resident per channel; a window is ``n * 4096`` bits,
+#: and chained phases touch at most two consecutive windows plus the
+#: occasional replay, so a handful suffices.
+_WINDOW_CACHE_LIMIT = 4
+
 
 class BernoulliNoise(NoiseModel):
     """The noisy beeping model: each heard bit flips with probability ``ε``.
@@ -79,7 +85,9 @@ class BernoulliNoise(NoiseModel):
         key_rng = derive_rng(seed, "beep-noise-key")
         self._key = key_rng.integers(0, 2**63, size=2, dtype=np.uint64)
         # Small LRU of recently generated windows, keyed by (window, n).
-        self._window_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._window_cache: LRUDict[tuple[int, int], np.ndarray] = LRUDict(
+            _WINDOW_CACHE_LIMIT
+        )
 
     @property
     def eps(self) -> float:
@@ -131,8 +139,6 @@ class BernoulliNoise(NoiseModel):
             )
             rng = np.random.Generator(bit_generator)
             block = rng.random((_WINDOW, n)) < self._eps
-            if len(self._window_cache) >= 4:
-                self._window_cache.pop(next(iter(self._window_cache)))
             self._window_cache[cache_key] = block
         return block
 

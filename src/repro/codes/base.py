@@ -7,6 +7,7 @@ from abc import ABC, abstractmethod
 from .. import bitstrings
 from ..bitstrings import BitString
 from ..errors import ConfigurationError
+from ..lru import LRUDict
 
 __all__ = ["Code"]
 
@@ -36,21 +37,18 @@ class Code(ABC):
             raise ConfigurationError(f"code length must be >= 1, got {length}")
         self._input_bits = input_bits
         self._length = length
-        self._cache: dict[int, BitString] = {}
+        self._cache: LRUDict[int, BitString] = LRUDict(self.CACHE_LIMIT)
 
     def _cache_lookup(self, value: int) -> BitString | None:
         """Fetch a cached codeword, refreshing its LRU recency on hit."""
-        cached = self._cache.get(value)
-        if cached is not None:
-            # Candidate scans re-touch hot codewords every round; moving
-            # them to the back keeps eviction away from them.
-            self._cache[value] = self._cache.pop(value)
-        return cached
+        return self._cache.get(value)
 
     def _cache_store(self, value: int, word: BitString) -> None:
         """Insert a codeword, evicting least-recently-used entries at the limit."""
-        while len(self._cache) >= self.CACHE_LIMIT:
-            self._cache.pop(next(iter(self._cache)))
+        if self._cache.limit != self.CACHE_LIMIT:
+            # CACHE_LIMIT is occasionally overridden per instance (tests,
+            # memory-constrained callers); honour the live value.
+            self._cache.limit = self.CACHE_LIMIT
         self._cache[value] = word
 
     @property

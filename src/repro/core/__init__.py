@@ -6,6 +6,9 @@
   round in ``O(Δ log n)`` noisy-beep rounds;
 * :class:`BroadcastSession` — the amortised multi-round engine behind it
   (codes, channel, backend and decoder matrices built once);
+* :class:`BatchedSession` — ``R`` seed-replicas of one ``(topology,
+  params)`` pair executed as a single replica-batched backend call per
+  phase, bit-identical to the per-seed sessions;
 * :class:`BeepSimulator` — Theorem 11 / Corollary 12: run entire Broadcast
   CONGEST or CONGEST algorithms on a (noisy) beeping network;
 * :mod:`~repro.core.local_broadcast` — the B-bit Local Broadcast problem
@@ -21,6 +24,7 @@ from .parameters import (
 from .encoder import build_phase_schedules
 from .decoder import phase1_decode, phase2_decode
 from .round_simulator import (
+    BatchedSession,
     BroadcastSession,
     RoundOutcome,
     simulate_broadcast_round,
@@ -43,6 +47,7 @@ __all__ = [
     "build_phase_schedules",
     "phase1_decode",
     "phase2_decode",
+    "BatchedSession",
     "BroadcastSession",
     "RoundOutcome",
     "simulate_broadcast_round",

@@ -17,6 +17,16 @@ sequence of standalone calls with matching round offsets (same seeds →
 same :class:`RoundOutcome`\\ s).  :func:`simulate_broadcast_round` remains
 as the one-shot compatibility wrapper.
 
+:class:`BatchedSession` is the replica-batched engine on top: it stacks
+``R`` seed-replicas of the same ``(topology, params)`` pair — one
+:class:`BroadcastSession` per seed — and executes each round's beeping
+phases as a single 3-D :meth:`~repro.engine.SimulationBackend.
+run_schedule_batch` call while decoding through vectorised kernels that
+are *exactly* equal (not just statistically) to the reference decoders.
+``BatchedSession(...).run_round(batch)[r]`` is bit-identical to what the
+``r``-th standalone :class:`BroadcastSession` would return, a property
+enforced by ``tests/core/test_batched_session.py``.
+
 The returned :class:`RoundOutcome` carries both the decoded messages (which
 downstream algorithms consume, right or wrong — simulation fidelity is part
 of what the experiments measure) and ground-truth diagnostics.
@@ -35,17 +45,25 @@ from ..codes import CombinedCode
 from ..engine import SimulationBackend, resolve_backend
 from ..errors import ConfigurationError
 from ..graphs import Topology
+from ..lru import LRUDict
 from ..rng import derive_rng, derive_seed, random_bits
-from .decoder import phase1_decode, phase2_decode
+from .decoder import DecodedMessage, phase1_decode, phase2_decode
 from .encoder import build_phase_schedules
 from .parameters import CandidatePolicy, SimulationParameters
 
 __all__ = [
     "RoundOutcome",
     "BroadcastSession",
+    "BatchedSession",
     "simulate_broadcast_round",
     "make_channel_for",
 ]
+
+#: Largest code length at which 0/1 dot products are exactly representable
+#: in float32 (every partial sum is an integer below 2^24), letting the
+#: vectorised decoders ride the BLAS sgemm path without changing a single
+#: count.
+_EXACT_FLOAT32_LIMIT = 1 << 24
 
 #: Exhaustive candidate scans are exponential; refuse beyond this size.
 _EXHAUSTIVE_LIMIT_BITS = 22
@@ -177,10 +195,15 @@ class BroadcastSession:
         self._round_offset = 0
         # Candidate-policy decoder state, built lazily once per session:
         # the full phase-1/phase-2 matrices for EXHAUSTIVE, and a bounded
-        # distance-row cache for the message-decoy policies.
+        # distance-row LRU cache for the message-decoy policies.
         self._exhaustive_phase1: np.ndarray | None = None
         self._exhaustive_phase2: np.ndarray | None = None
-        self._distance_rows: dict[int, np.ndarray] = {}
+        self._distance_rows: LRUDict[int, np.ndarray] = LRUDict(
+            _DISTANCE_ROW_CACHE_LIMIT
+        )
+        # Flipped by BatchedSession on its replicas: route schedule
+        # building and decoding through the vectorised-exact kernels.
+        self._vectorized = False
 
     @property
     def topology(self) -> Topology:
@@ -233,6 +256,37 @@ class BroadcastSession:
         per-round random strings); either way the session's offset advances
         to just past this round, so back-to-back calls chain contiguously.
         """
+        plan = self._plan_round(messages, round_offset)
+        b = self._codes.length
+        heard1 = run_schedule(
+            self._topology,
+            plan.phase1_schedule,
+            self._channel,
+            start_round=plan.round_offset,
+            backend=self._backend,
+        )
+        heard2 = run_schedule(
+            self._topology,
+            plan.phase2_schedule,
+            self._channel,
+            start_round=plan.round_offset + b,
+            backend=self._backend,
+        )
+        return self._finish_round(plan, heard1, heard2)
+
+    def _plan_round(
+        self,
+        messages: Sequence[int | None],
+        round_offset: int | None,
+    ) -> "_RoundPlan":
+        """Everything before the beeping phases: validation, ``r_v``, schedules.
+
+        Draws each node's random string (the first consumer of the
+        per-round stream) and builds both phase schedules; the returned
+        plan carries the still-live round RNG, which
+        :meth:`_finish_round` continues from in exactly the reference
+        draw order (candidates, then message decoys).
+        """
         topology = self._topology
         params = self._params
         n = topology.num_nodes
@@ -247,8 +301,6 @@ class BroadcastSession:
                 )
         if round_offset is None:
             round_offset = self._round_offset
-        codes = self._codes
-        channel = self._channel
 
         # Step 1: every participating node draws r_v uniformly at random.
         round_rng = derive_rng(self._seed, "round-randomness", round_offset)
@@ -256,25 +308,57 @@ class BroadcastSession:
         r_values = [int(value) for value in _draw_r_values(round_rng, n, r_space)]
         participating = [messages[v] is not None for v in range(n)]
 
-        # Steps 2-3: the two oblivious beeping phases.
-        phase1_schedule, phase2_schedule = build_phase_schedules(
-            codes, r_values, messages
+        # Steps 2-3: the two oblivious beeping phase schedules.
+        slot_positions: "np.ndarray | None" = None
+        slot_rows: "dict[int, int] | None" = None
+        if self._vectorized:
+            (
+                phase1_schedule,
+                phase2_schedule,
+                slot_positions,
+                slot_rows,
+            ) = _build_phase_schedules_fast(
+                self._codes, r_values, messages, self._distance_rows
+            )
+        else:
+            phase1_schedule, phase2_schedule = build_phase_schedules(
+                self._codes, r_values, messages
+            )
+        return _RoundPlan(
+            messages=list(messages),
+            round_offset=round_offset,
+            round_rng=round_rng,
+            r_values=r_values,
+            participating=participating,
+            phase1_schedule=phase1_schedule,
+            phase2_schedule=phase2_schedule,
+            slot_positions=slot_positions,
+            slot_rows=slot_rows,
         )
+
+    def _finish_round(
+        self,
+        plan: "_RoundPlan",
+        heard1: np.ndarray,
+        heard2: np.ndarray,
+    ) -> RoundOutcome:
+        """Everything after the beeping phases: candidate scans and decoding.
+
+        Consumes the plan's round RNG in the reference order (candidate
+        decoys, then message decoys) and advances the session offset, so
+        splitting a round around the backend call cannot perturb any
+        stream.
+        """
+        topology = self._topology
+        params = self._params
+        codes = self._codes
+        n = topology.num_nodes
+        messages = plan.messages
+        r_values = plan.r_values
+        participating = plan.participating
+        round_rng = plan.round_rng
+        r_space = 1 << params.r_bits
         b = codes.length
-        heard1 = run_schedule(
-            topology,
-            phase1_schedule,
-            channel,
-            start_round=round_offset,
-            backend=self._backend,
-        )
-        heard2 = run_schedule(
-            topology,
-            phase2_schedule,
-            channel,
-            start_round=round_offset + b,
-            backend=self._backend,
-        )
 
         # Candidate enumeration per the chosen policy.
         in_flight = sorted({r_values[v] for v in range(n) if participating[v]})
@@ -287,14 +371,32 @@ class BroadcastSession:
             round_rng,
         )
 
-        # Step 4a: phase-1 decoding (Lemma 9 threshold test).
-        accepted_raw = phase1_decode(
-            codes.beep_code,
-            heard1,
-            candidates,
-            params.eps,
-            codeword_matrix=self._phase1_matrix(candidates),
-        )
+        # Step 4a: phase-1 decoding (Lemma 9 threshold test).  The
+        # vectorised path recovers in-flight candidate codewords from the
+        # schedule rows already encoded in the plan (only decoys need
+        # fresh encodes) and reuses that matrix for the phase-2 slot
+        # patterns below.
+        candidate_matrix = self._phase1_matrix(candidates)
+        if self._vectorized:
+            if candidate_matrix is None:
+                candidate_matrix = _candidate_matrix_from_plan(
+                    codes.beep_code, plan, candidates
+                )
+            accepted_raw = _phase1_decode_fast(
+                codes.beep_code,
+                heard1,
+                candidates,
+                params.eps,
+                codeword_matrix=candidate_matrix,
+            )
+        else:
+            accepted_raw = phase1_decode(
+                codes.beep_code,
+                heard1,
+                candidates,
+                params.eps,
+                codeword_matrix=candidate_matrix,
+            )
         accepted: list[set[int]] = []
         for v in range(n):
             own = {r_values[v]} if participating[v] else set()
@@ -325,17 +427,41 @@ class BroadcastSession:
             )
         if self._policy is CandidatePolicy.EXHAUSTIVE:
             message_candidates = list(range(1 << params.message_bits))
-        decoded_maps = (
-            phase2_decode(
+        if not message_candidates:
+            decoded_maps = [dict() for _ in range(n)]
+        elif self._vectorized:
+            # Slot-position recycling pays only when the candidate scan
+            # is the in-flight set (plus a few decoys); an EXHAUSTIVE
+            # scan would materialise positions for the whole 2^a domain
+            # every round, so there the decoder falls back to encoding
+            # just the accepted pairs.
+            if self._policy is CandidatePolicy.EXHAUSTIVE or not candidates:
+                candidate_positions = None
+                candidate_index = None
+            else:
+                candidate_positions = _candidate_positions(
+                    codes.beep_code, plan, candidates
+                )
+                candidate_index = {
+                    value: i for i, value in enumerate(candidates)
+                }
+            decoded_maps = _phase2_decode_fast(
+                codes,
+                heard2,
+                accepted,
+                message_candidates,
+                codeword_matrix=self._phase2_matrix(message_candidates),
+                slot_positions=candidate_positions,
+                slot_index=candidate_index,
+            )
+        else:
+            decoded_maps = phase2_decode(
                 codes,
                 heard2,
                 accepted,
                 message_candidates,
                 codeword_matrix=self._phase2_matrix(message_candidates),
             )
-            if message_candidates
-            else [dict() for _ in range(n)]
-        )
 
         decoded = [
             sorted(entry.message for entry in decoded_maps[v].values())
@@ -357,7 +483,7 @@ class BroadcastSession:
             for v in range(n)
             if accepted[v] == true_sets[v] and not per_node_success[v]
         )
-        self._round_offset = round_offset + 2 * b
+        self._round_offset = plan.round_offset + 2 * b
         return RoundOutcome(
             decoded=decoded,
             per_node_success=per_node_success,
@@ -397,9 +523,13 @@ class BroadcastSession:
         if self._policy is not CandidatePolicy.EXHAUSTIVE:
             return None
         if self._exhaustive_phase1 is None:
+            # Vectorised sessions consume this on the float32 sgemm path,
+            # so caching it in that dtype avoids a whole-matrix conversion
+            # every round; the reference decoder keeps its int32 form.
+            dtype = np.float32 if self._vectorized else np.int32
             self._exhaustive_phase1 = self._codes.beep_code.encode_many(
                 list(candidates)
-            ).astype(np.int32)
+            ).astype(dtype)
         return self._exhaustive_phase1
 
     def _phase2_matrix(self, message_candidates: Sequence[int]) -> np.ndarray | None:
@@ -423,18 +553,454 @@ class BroadcastSession:
             (len(message_candidates), distance_code.length), dtype=bool
         )
         for position, message in enumerate(message_candidates):
+            # LRU semantics via LRUDict: hits refresh recency (recurring
+            # messages are the cache's whole point, one-shot decoy rows
+            # get evicted first), misses evict at the bound on insert.
             row = rows.get(message)
             if row is None:
                 row = np.asarray(distance_code.encode_int(message), dtype=bool)
-                while len(rows) >= _DISTANCE_ROW_CACHE_LIMIT:
-                    rows.pop(next(iter(rows)))
-            else:
-                # LRU refresh: recurring messages are the cache's whole
-                # point; evict the one-shot decoy rows first.
-                del rows[message]
-            rows[message] = row
+                rows[message] = row
             matrix[position] = row
         return matrix
+
+
+@dataclass
+class _RoundPlan:
+    """Pre-backend state of one simulated round (see ``_plan_round``).
+
+    Carries the still-live per-round RNG between the plan and finish
+    halves so the draw order (``r_v`` values, candidate decoys, message
+    decoys) is exactly the reference order regardless of how the beeping
+    phases in between are executed.
+    """
+
+    messages: "list[int | None]"
+    round_offset: int
+    round_rng: np.random.Generator
+    r_values: list[int]
+    participating: list[bool]
+    phase1_schedule: np.ndarray
+    phase2_schedule: np.ndarray
+    #: Vectorised path only: the ascending one-positions of each active
+    #: node's beep codeword (row ``slot_rows[r_v]``), computed once by the
+    #: schedule builder and reused by the decoders.
+    slot_positions: "np.ndarray | None" = None
+    slot_rows: "dict[int, int] | None" = None
+
+
+def _build_phase_schedules_fast(
+    codes: CombinedCode,
+    r_values: Sequence[int],
+    messages: "Sequence[int | None]",
+    distance_rows: "LRUDict[int, np.ndarray]",
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None, dict[int, int]]":
+    """Vectorised twin of :func:`~repro.core.encoder.build_phase_schedules`.
+
+    Produces element-identical schedules: phase 1 stacks the same
+    ``C(r_v)`` codewords via :meth:`~repro.codes.BeepCode.encode_many`,
+    and phase 2 scatters each ``D(m_v)`` into the one-positions of
+    ``C(r_v)`` in ascending order — exactly Notation 7's ``CD`` layout —
+    instead of looping :meth:`~repro.codes.CombinedCode.encode` per node.
+    ``distance_rows`` is the owning session's bounded row cache.
+
+    Besides the two schedules, returns the active nodes' slot-position
+    matrix and a ``r_value → row`` map so the decoders can reuse the
+    one-positions without rescanning any codeword.
+    """
+    n = len(r_values)
+    if n != len(messages):
+        raise ConfigurationError(
+            f"{len(r_values)} r-values but {len(messages)} messages"
+        )
+    b = codes.length
+    phase1 = np.zeros((n, b), dtype=bool)
+    phase2 = np.zeros((n, b), dtype=bool)
+    active = [v for v in range(n) if messages[v] is not None]
+    if not active:
+        return phase1, phase2, None, {}
+    beep_code = codes.beep_code
+    slots = beep_code.encode_many([r_values[v] for v in active])
+    phase1[active] = slots
+    # Beep codewords have constant weight (Definition 3), so the ascending
+    # one-positions of every row form a rectangular (active, weight) matrix.
+    weight = beep_code.weight
+    positions = np.nonzero(slots)[1].reshape(len(active), weight)
+    slot_rows: dict[int, int] = {}
+    for row, v in enumerate(active):
+        slot_rows.setdefault(r_values[v], row)
+    distance_code = codes.distance_code
+    payloads = np.empty((len(active), distance_code.length), dtype=bool)
+    for position, v in enumerate(active):
+        message = messages[v]
+        row = distance_rows.get(message)
+        if row is None:
+            row = np.asarray(distance_code.encode_int(message), dtype=bool)
+            distance_rows[message] = row
+        payloads[position] = row
+    phase2[np.asarray(active)[:, None], positions] = payloads
+    return phase1, phase2, positions, slot_rows
+
+
+def _candidate_matrix_from_plan(
+    beep_code,
+    plan: "_RoundPlan",
+    candidates: Sequence[int],
+) -> np.ndarray:
+    """The phase-1 candidate codeword matrix, recycled from the schedule.
+
+    A participating node's phase-1 schedule row *is* its codeword
+    ``C(r_v)``, so every in-flight candidate's row can be copied from the
+    plan instead of re-encoded; only decoy candidates (absent from the
+    schedule) pay an encode.  Bit-identical to
+    ``beep_code.encode_many(candidates)`` by construction.
+    """
+    sources: dict[int, int] = {}
+    for node, value in enumerate(plan.r_values):
+        if plan.participating[node] and value not in sources:
+            sources[value] = node
+    # float32 from the start: the phase-1 count product consumes this
+    # matrix on the BLAS sgemm path, so building it in the target dtype
+    # saves a whole-matrix conversion (values stay exactly 0.0/1.0).
+    matrix = np.empty((len(candidates), beep_code.length), dtype=np.float32)
+    rows = [sources.get(value) for value in candidates]
+    known = [i for i, node in enumerate(rows) if node is not None]
+    if known:
+        matrix[known] = plan.phase1_schedule[[rows[i] for i in known]]
+    for position, value in enumerate(candidates):
+        if rows[position] is None:
+            matrix[position] = beep_code.encode_int(value)
+    return matrix
+
+
+def _candidate_positions(
+    beep_code,
+    plan: "_RoundPlan",
+    candidates: Sequence[int],
+) -> np.ndarray:
+    """Each candidate codeword's ascending one-positions, mostly recycled.
+
+    In-flight candidates reuse the slot-position rows the schedule
+    builder already computed; only decoys (and exhaustive-scan values
+    absent from the schedule) pay an encode plus ``flatnonzero``.
+    """
+    weight = beep_code.weight
+    slot_rows = plan.slot_rows or {}
+    positions = np.empty((len(candidates), weight), dtype=np.int64)
+    rows = [slot_rows.get(value) for value in candidates]
+    known = [i for i, row in enumerate(rows) if row is not None]
+    if known:
+        positions[known] = plan.slot_positions[[rows[i] for i in known]]
+    for i, row in enumerate(rows):
+        if row is None:
+            positions[i] = np.flatnonzero(beep_code.encode_int(candidates[i]))
+    return positions
+
+
+def _phase1_decode_fast(
+    beep_code,
+    heard: np.ndarray,
+    candidates: Sequence[int],
+    eps: float,
+    codeword_matrix: "np.ndarray | None" = None,
+) -> list[set[int]]:
+    """Exact fast twin of :func:`~repro.core.decoder.phase1_decode`.
+
+    Same Lemma 9 statistics and threshold, same accepted sets — the only
+    difference is that the candidate × node count matrix rides the BLAS
+    ``sgemm`` path: with the code length below 2^24 every partial sum is
+    an integer exactly representable in float32, so the counts (and the
+    threshold compare) cannot differ from the int32 product.
+    """
+    heard = np.asarray(heard, dtype=bool)
+    if not candidates:
+        return [set() for _ in range(heard.shape[0])]
+    if codeword_matrix is None:
+        codeword_matrix = beep_code.encode_many(list(candidates))
+    if beep_code.length < _EXACT_FLOAT32_LIMIT:
+        # Single-pass bool → float32 conversions (¬heard fused into the
+        # subtraction, and the candidate matrix converted only when not
+        # already float32), then the exact BLAS sgemm count product; the
+        # threshold compare happens in float32, which is exact because
+        # every count is an integral float below 2^24.
+        not_heard = np.subtract(1.0, heard.T, dtype=np.float32)
+        statistics = np.asarray(codeword_matrix, dtype=np.float32) @ not_heard
+    else:  # pragma: no cover - paper-strict code lengths only
+        statistics = codeword_matrix.astype(np.int64) @ (~heard).T.astype(np.int64)
+    accepted_mask = statistics < beep_code.decoding_threshold(eps)
+    accepted: list[set[int]] = [set() for _ in range(heard.shape[0])]
+    for i, v in zip(*np.nonzero(accepted_mask)):
+        accepted[v].add(candidates[i])
+    return accepted
+
+
+def _phase2_decode_fast(
+    combined_code: CombinedCode,
+    heard: np.ndarray,
+    accepted: "Sequence[set[int]]",
+    message_candidates: Sequence[int],
+    codeword_matrix: "np.ndarray | None" = None,
+    slot_positions: "np.ndarray | None" = None,
+    slot_index: "dict[int, int] | None" = None,
+) -> "list[dict[int, DecodedMessage]]":
+    """Exact fast twin of :func:`~repro.core.decoder.phase2_decode`.
+
+    Gathers every accepted ``(node, r)`` pair's heard subsequence into one
+    rectangular matrix (beep codewords have constant weight) and computes
+    all Hamming distances as a single exact count product —
+    ``d(s, D(m)) = |D(m)| + |s| - 2 s·D(m)`` — so the per-pair winner,
+    distance and margin (including the smallest-message tie-break, which
+    ``argmin`` over the sorted candidate order preserves) match the
+    reference decoder value for value.
+
+    ``slot_positions``/``slot_index`` optionally supply precomputed slot
+    patterns (row ``slot_index[r]`` holds the ascending one-positions of
+    ``C(r)``) so accepted values — which phase 1 always drew from the
+    candidate matrix — need neither re-encoding nor a fresh ``nonzero``;
+    values missing from the index fall back to the code.
+    """
+    heard = np.asarray(heard, dtype=bool)
+    n = heard.shape[0]
+    if len(accepted) != n:
+        raise ConfigurationError(
+            f"accepted sets ({len(accepted)}) must match heard rows ({n})"
+        )
+    if not message_candidates:
+        raise ConfigurationError("phase 2 needs at least one message candidate")
+    distance_code = combined_code.distance_code
+    if codeword_matrix is None:
+        codeword_matrix = np.stack(
+            [distance_code.encode_int(m) for m in message_candidates]
+        )
+    # Every session call site passes candidates pre-sorted (the
+    # reference decoder's argsort is then the identity), so skip the
+    # permutation copy unless the order actually needs fixing, and avoid
+    # re-copying an already-boolean matrix.
+    messages_arr = np.asarray(message_candidates, dtype=np.int64)
+    if messages_arr.size > 1 and np.any(messages_arr[1:] < messages_arr[:-1]):
+        order = np.argsort(messages_arr, kind="stable")
+        ordered_messages = [message_candidates[i] for i in order]
+        ordered_matrix = np.asarray(codeword_matrix)[order]
+    else:
+        ordered_messages = list(message_candidates)
+        ordered_matrix = codeword_matrix
+    ordered_matrix = np.asarray(ordered_matrix, dtype=bool)
+
+    pair_nodes: list[int] = []
+    pair_rs: list[int] = []
+    for node in range(n):
+        for r in sorted(accepted[node]):
+            pair_nodes.append(node)
+            pair_rs.append(r)
+    results: list[dict[int, DecodedMessage]] = [dict() for _ in range(n)]
+    if not pair_nodes:
+        return results
+
+    beep_code = combined_code.beep_code
+    weight = beep_code.weight
+    if slot_positions is not None and slot_index is not None:
+        rows = [slot_index.get(r) for r in pair_rs]
+        if all(row is not None for row in rows):
+            positions = slot_positions[rows]
+        else:
+            positions = np.empty((len(pair_rs), weight), dtype=np.int64)
+            for pair, (r, row) in enumerate(zip(pair_rs, rows)):
+                if row is None:
+                    positions[pair] = np.flatnonzero(beep_code.encode_int(r))
+                else:
+                    positions[pair] = slot_positions[row]
+    else:
+        slots = beep_code.encode_many(pair_rs)
+        positions = np.nonzero(slots)[1].reshape(len(pair_rs), weight)
+    # One flat gather for every pair's subsequence beats row-wise
+    # advanced indexing on the heard matrix.
+    flat = heard.reshape(-1)
+    subsequences = flat[
+        np.asarray(pair_nodes, dtype=np.int64)[:, None] * heard.shape[1]
+        + positions
+    ]
+    # distances[p, m] = |D(m)| + |s_p| - 2 s_p · D(m).  The intermediate
+    # |D(m)| + |s_p| can reach 2 * weight, so float32 stays exact only
+    # while that bound is representable (weight <= 2^23); beyond it fall
+    # back to an integer computation.
+    count_dtype = (
+        np.float32 if weight <= _EXACT_FLOAT32_LIMIT // 2 else np.int64
+    )
+    code_weights = np.count_nonzero(ordered_matrix, axis=1).astype(count_dtype)
+    sub_weights = np.count_nonzero(subsequences, axis=1).astype(count_dtype)
+    dots = subsequences.astype(count_dtype) @ ordered_matrix.T.astype(count_dtype)
+    distances = code_weights[np.newaxis, :] + sub_weights[:, np.newaxis] - 2 * dots
+    best = np.argmin(distances, axis=1)
+    best_distance = np.take_along_axis(
+        distances, best[:, np.newaxis], axis=1
+    )[:, 0]
+    if distances.shape[1] > 1:
+        runner_up = np.partition(distances, 1, axis=1)[:, 1]
+        margins = runner_up - best_distance
+    else:
+        margins = weight - best_distance
+    for pair, (node, r) in enumerate(zip(pair_nodes, pair_rs)):
+        results[node][r] = DecodedMessage(
+            message=ordered_messages[int(best[pair])],
+            distance=int(best_distance[pair]),
+            margin=int(margins[pair]),
+        )
+    return results
+
+
+class BatchedSession:
+    """``R`` seed-replicas of one ``(topology, params)`` pair, run as a batch.
+
+    Each replica is a full :class:`BroadcastSession` built from its own
+    master seed — codes, channel and decoder state derive from that seed
+    exactly as standalone sessions do — but every simulated round executes
+    both beeping phases as a single stacked
+    :meth:`~repro.engine.SimulationBackend.run_schedule_batch` call and
+    decodes through the vectorised-exact kernels.  Outcome ``r`` of
+    :meth:`run_round` is therefore bit-identical to what
+    ``BroadcastSession(topology, params, seeds[r], ...)`` would have
+    produced on the same messages, which is what lets
+    :mod:`repro.sweeps` batch a grid cell's seed axis without changing a
+    single simulated number.
+
+    Parameters
+    ----------
+    topology:
+        The network, shared by every replica.
+    params:
+        Code parameters, shared by every replica.
+    seeds:
+        One master seed per replica (the batch size is ``len(seeds)``).
+    policy, num_decoys, backend:
+        As for :class:`BroadcastSession`; the backend is resolved once
+        and shared so the batch executes as one call.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: SimulationParameters,
+        seeds: Sequence[int],
+        *,
+        policy: CandidatePolicy = CandidatePolicy.ORACLE_WITH_DECOYS,
+        num_decoys: int = 16,
+        backend: "str | SimulationBackend | None" = None,
+    ) -> None:
+        seeds = [int(seed) for seed in seeds]
+        if not seeds:
+            raise ConfigurationError("BatchedSession needs at least one seed")
+        self._sessions = tuple(
+            BroadcastSession(
+                topology,
+                params,
+                seed,
+                policy=policy,
+                num_decoys=num_decoys,
+                backend=backend,
+            )
+            for seed in seeds
+        )
+        for session in self._sessions:
+            session._vectorized = True
+        lengths = {session.codes.length for session in self._sessions}
+        if len(lengths) != 1:  # pragma: no cover - params pin the length
+            raise ConfigurationError(
+                f"replica code lengths differ ({sorted(lengths)}); "
+                "replicas must share (topology, params)"
+            )
+        self._topology = topology
+        self._params = params
+        self._seeds = tuple(seeds)
+        self._backend = self._sessions[0].backend
+
+    @property
+    def topology(self) -> Topology:
+        """The network topology shared by every replica."""
+        return self._topology
+
+    @property
+    def params(self) -> SimulationParameters:
+        """The code parameters shared by every replica."""
+        return self._params
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        """The per-replica master seeds (defines the batch size)."""
+        return self._seeds
+
+    @property
+    def num_replicas(self) -> int:
+        """Number of seed-replicas in the batch."""
+        return len(self._sessions)
+
+    @property
+    def backend(self) -> SimulationBackend:
+        """The execution backend shared by the whole batch."""
+        return self._backend
+
+    @property
+    def sessions(self) -> "tuple[BroadcastSession, ...]":
+        """The per-replica sessions (read-only; offsets advance per round)."""
+        return self._sessions
+
+    def reset(self, round_offset: int = 0) -> None:
+        """Rewind every replica's global beeping-round offset."""
+        for session in self._sessions:
+            session.reset(round_offset)
+
+    def run_round(
+        self,
+        messages: "Sequence[Sequence[int | None]]",
+        round_offset: int | None = None,
+    ) -> list[RoundOutcome]:
+        """Run one simulated round on every replica, batched.
+
+        ``messages[r]`` is replica ``r``'s per-node message list (exactly
+        the argument :meth:`BroadcastSession.run_round` takes);
+        ``round_offset``, when given, rewinds every replica to that
+        offset first.  Returns one :class:`RoundOutcome` per replica.
+        """
+        if len(messages) != len(self._sessions):
+            raise ConfigurationError(
+                f"got {len(messages)} replica message lists for "
+                f"{len(self._sessions)} replicas"
+            )
+        plans = [
+            session._plan_round(replica_messages, round_offset)
+            for session, replica_messages in zip(self._sessions, messages)
+        ]
+        b = self._sessions[0].codes.length
+        channels = [session.channel for session in self._sessions]
+        starts = [plan.round_offset for plan in plans]
+        heard1 = self._backend.run_schedule_batch(
+            self._topology,
+            np.stack([plan.phase1_schedule for plan in plans]),
+            channels,
+            starts,
+        )
+        heard2 = self._backend.run_schedule_batch(
+            self._topology,
+            np.stack([plan.phase2_schedule for plan in plans]),
+            channels,
+            [start + b for start in starts],
+        )
+        return [
+            session._finish_round(plan, heard1[index], heard2[index])
+            for index, (session, plan) in enumerate(zip(self._sessions, plans))
+        ]
+
+    def run_many(
+        self,
+        message_rounds: "Sequence[Sequence[Sequence[int | None]]]",
+        round_offset: int | None = None,
+    ) -> list[list[RoundOutcome]]:
+        """Run consecutive rounds on every replica, chaining offsets.
+
+        ``message_rounds[t][r]`` is replica ``r``'s message list for
+        round ``t``; the result is indexed the same way.
+        """
+        if round_offset is not None:
+            self.reset(round_offset)
+        return [self.run_round(round_messages) for round_messages in message_rounds]
 
 
 def simulate_broadcast_round(

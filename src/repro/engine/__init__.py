@@ -19,7 +19,12 @@ callers get process-wide (the experiments harness exposes it as
 
 from __future__ import annotations
 
-from .base import SimulationBackend, validate_schedule
+from .base import (
+    SimulationBackend,
+    normalize_batch_args,
+    validate_schedule,
+    validate_schedule_batch,
+)
 from .bitpacked import BitpackedBackend
 from .dense import DenseBackend
 from .packing import WORD_BITS, pack_rows, pack_vector, unpack_rows, words_for
@@ -34,6 +39,8 @@ __all__ = [
     "get_default_backend",
     "set_default_backend",
     "validate_schedule",
+    "validate_schedule_batch",
+    "normalize_batch_args",
     "WORD_BITS",
     "pack_rows",
     "pack_vector",

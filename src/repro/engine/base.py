@@ -6,20 +6,29 @@ built from:
 * :meth:`SimulationBackend.run_schedule` — execute a fixed boolean
   ``(n, rounds)`` beep schedule and return the heard matrix;
 * :meth:`SimulationBackend.neighbor_or` — one round's OR-of-neighbours for
-  the step-by-step :class:`~repro.beeping.BeepingNetwork` engine.
+  the step-by-step :class:`~repro.beeping.BeepingNetwork` engine;
+* :meth:`SimulationBackend.run_schedule_batch` — execute ``R``
+  seed-replica schedules over the *same* topology in one call (the
+  replica-batched hot path of :class:`~repro.core.round_simulator.
+  BatchedSession`), with a loop-over-:meth:`run_schedule` default so
+  third-party backends inherit correct behaviour for free.
 
 Backends are interchangeable: every implementation must be *bit-identical*
 to :class:`~repro.engine.dense.DenseBackend` on the same inputs, including
 under :class:`~repro.beeping.noise.BernoulliNoise` (the noise stream is
 keyed by ``(seed, round)``, so the flip pattern is a pure function of the
-inputs, not of the execution strategy).  This contract is property-tested
-in ``tests/beeping/test_batch.py`` and ``tests/engine/test_backends.py``.
+inputs, not of the execution strategy).  The batched entry point extends
+the contract along the replica axis: ``run_schedule_batch(schedules)[r]``
+must equal ``run_schedule(schedules[r])`` with replica ``r``'s channel and
+start round, for every backend.  These contracts are property-tested in
+``tests/beeping/test_batch.py``, ``tests/engine/test_backends.py`` and
+``tests/engine/test_batched_backends.py``.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, ClassVar
+from typing import TYPE_CHECKING, ClassVar, Sequence
 
 import numpy as np
 
@@ -29,7 +38,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..beeping.noise import NoiseModel
     from ..graphs import Topology
 
-__all__ = ["SimulationBackend", "validate_schedule"]
+__all__ = [
+    "SimulationBackend",
+    "validate_schedule",
+    "validate_schedule_batch",
+    "normalize_batch_args",
+]
 
 
 def validate_schedule(topology: "Topology", schedule: np.ndarray) -> np.ndarray:
@@ -43,6 +57,61 @@ def validate_schedule(topology: "Topology", schedule: np.ndarray) -> np.ndarray:
             f"{topology.num_nodes}"
         )
     return schedule
+
+
+def validate_schedule_batch(
+    topology: "Topology", schedules: np.ndarray
+) -> np.ndarray:
+    """Coerce a replica batch to boolean ``(R, n, rounds)`` and check its shape."""
+    schedules = np.asarray(schedules, dtype=bool)
+    if schedules.ndim != 3:
+        raise ConfigurationError(
+            "batched schedules must be an (R, n, rounds) array"
+        )
+    if schedules.shape[1] != topology.num_nodes:
+        raise ConfigurationError(
+            f"batched schedules have {schedules.shape[1]} rows per replica, "
+            f"expected {topology.num_nodes}"
+        )
+    return schedules
+
+
+def normalize_batch_args(
+    replicas: int,
+    channels: "NoiseModel | Sequence[NoiseModel] | None",
+    start_rounds: "int | Sequence[int] | None",
+) -> "tuple[list[NoiseModel], list[int]]":
+    """Broadcast per-batch channel/offset arguments to one entry per replica.
+
+    ``channels`` may be ``None`` (noiseless everywhere), a single
+    :class:`~repro.beeping.noise.NoiseModel` shared by every replica, or a
+    sequence of exactly ``replicas`` models.  ``start_rounds`` likewise
+    accepts ``None`` (all zero), a single offset, or one offset per
+    replica.  Length mismatches raise :class:`ConfigurationError`.
+    """
+    from ..beeping.noise import NoiseModel, NoiselessChannel
+
+    if channels is None:
+        channel_list = [NoiselessChannel() for _ in range(replicas)]
+    elif isinstance(channels, NoiseModel):
+        channel_list = [channels] * replicas
+    else:
+        channel_list = list(channels)
+        if len(channel_list) != replicas:
+            raise ConfigurationError(
+                f"got {len(channel_list)} channels for {replicas} replicas"
+            )
+    if start_rounds is None:
+        start_list = [0] * replicas
+    elif isinstance(start_rounds, (int, np.integer)):
+        start_list = [int(start_rounds)] * replicas
+    else:
+        start_list = [int(offset) for offset in start_rounds]
+        if len(start_list) != replicas:
+            raise ConfigurationError(
+                f"got {len(start_list)} start rounds for {replicas} replicas"
+            )
+    return channel_list, start_list
 
 
 class SimulationBackend(ABC):
@@ -78,6 +147,41 @@ class SimulationBackend(ABC):
         ``beeps`` is a boolean ``(n,)`` vector; a node's own beep does not
         contribute to its own entry.
         """
+
+    def run_schedule_batch(
+        self,
+        topology: "Topology",
+        schedules: np.ndarray,
+        channels: "NoiseModel | Sequence[NoiseModel] | None" = None,
+        start_rounds: "int | Sequence[int] | None" = None,
+    ) -> np.ndarray:
+        """Execute ``R`` replica schedules over one topology in a single call.
+
+        ``schedules`` is a boolean ``(R, n, rounds)`` array — replica ``r``'s
+        schedule is ``schedules[r]``; ``channels`` and ``start_rounds`` are
+        broadcast per :func:`normalize_batch_args`.  The result is the
+        same-shaped stack of heard matrices, and slice ``r`` must be
+        bit-identical to ``run_schedule(topology, schedules[r],
+        channels[r], start_rounds[r])`` — this default implementation is
+        exactly that loop, so backends that only implement the two
+        single-schedule primitives stay correct; optimised backends
+        override it to share the carrier-sense work across replicas.
+        """
+        schedules = validate_schedule_batch(topology, schedules)
+        replicas = schedules.shape[0]
+        channel_list, start_list = normalize_batch_args(
+            replicas, channels, start_rounds
+        )
+        if replicas == 0:
+            return np.zeros_like(schedules)
+        return np.stack(
+            [
+                self.run_schedule(
+                    topology, schedules[r], channel_list[r], start_list[r]
+                )
+                for r in range(replicas)
+            ]
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"

@@ -15,13 +15,27 @@ topology's row-bitmap adjacency (:attr:`~repro.graphs.Topology.
 packed_adjacency`): node ``v`` hears a beep iff ``adjacency_words[v] &
 beep_words`` is non-zero anywhere, which beats the CSR matvec on dense
 neighbourhoods.
+
+The replica-batched entry point generalises the packed schedule with a
+replica axis: ``R`` replicas stack into one ``(R * n, words)`` word
+matrix, the OR-of-neighbours becomes a single segmented reduction over a
+replicated CSR (the neighbour arrays shifted by ``r * n`` per replica),
+and all replicas' Bernoulli flips are packed and XORed in one pass — the
+per-replica Philox streams stay exactly those of
+:meth:`~repro.beeping.noise.BernoulliNoise.flip_block`, so every replica
+slice is bit-identical to its standalone :meth:`run_schedule` execution.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .base import SimulationBackend, validate_schedule
+from .base import (
+    SimulationBackend,
+    normalize_batch_args,
+    validate_schedule,
+    validate_schedule_batch,
+)
 from .packing import pack_rows, pack_vector, unpack_rows
 
 __all__ = ["BitpackedBackend"]
@@ -55,13 +69,77 @@ class BitpackedBackend(SimulationBackend):
         # of the packed domain and let it apply itself as usual.
         return channel.apply(unpack_rows(received, rounds), start_round)
 
+    #: Packed working-set budget per batched sub-chunk, in uint64 words.
+    #: Gathers over a packed matrix larger than the cache hierarchy cost
+    #: more than the per-call overhead they save, so oversized batches
+    #: are processed in replica chunks whose packed schedule stays within
+    #: this budget (results are per-replica independent, hence identical).
+    #: 2^16 words = 512 KiB keeps a chunk inside typical L2/L3 slices.
+    _BATCH_CHUNK_WORDS = 1 << 16
+
+    def run_schedule_batch(
+        self, topology, schedules, channels=None, start_rounds=None
+    ):
+        """Replica-axis packed execution: one segmented OR, one flip pass."""
+        schedules = validate_schedule_batch(topology, schedules)
+        replicas, n, rounds = schedules.shape
+        channel_list, start_list = normalize_batch_args(
+            replicas, channels, start_rounds
+        )
+        if replicas == 0:
+            return np.zeros_like(schedules)
+        from ..beeping.noise import BernoulliNoise, NoiselessChannel
+
+        packed = pack_rows(schedules.reshape(replicas * n, rounds))
+        received = self.neighbor_or_words(topology, packed, replicas=replicas)
+        np.bitwise_or(received, packed, out=received)
+        # Channel dispatch mirrors run_schedule per replica (exact-type
+        # checks for the same subclass-override reason), but all Bernoulli
+        # replicas' Philox flips are packed and XORed in one pass.
+        bernoulli = [
+            r
+            for r in range(replicas)
+            if type(channel_list[r]) is BernoulliNoise
+        ]
+        if bernoulli and rounds:
+            flips = np.empty((len(bernoulli) * n, rounds), dtype=bool)
+            for position, r in enumerate(bernoulli):
+                flips[position * n : (position + 1) * n] = channel_list[
+                    r
+                ].flip_block(start_list[r], rounds, n)
+            flip_words = pack_rows(flips)
+            for position, r in enumerate(bernoulli):
+                np.bitwise_xor(
+                    received[r * n : (r + 1) * n],
+                    flip_words[position * n : (position + 1) * n],
+                    out=received[r * n : (r + 1) * n],
+                )
+        heard = unpack_rows(received, rounds).reshape(replicas, n, rounds)
+        for r in range(replicas):
+            channel = channel_list[r]
+            if type(channel) is NoiselessChannel or type(channel) is BernoulliNoise:
+                continue
+            # Unknown channel: it only understands boolean matrices, so it
+            # applies itself to the unpacked replica slice as usual.
+            heard[r] = channel.apply(heard[r], start_list[r])
+        return heard
+
     @staticmethod
-    def neighbor_or_words(topology, packed: np.ndarray) -> np.ndarray:
+    def neighbor_or_words(
+        topology, packed: np.ndarray, replicas: int = 1
+    ) -> np.ndarray:
         """Per-node OR of neighbours' packed rows, via segmented reduction.
 
-        ``packed`` is the ``(n, words)`` packed schedule; the result is the
-        same-shaped matrix whose row ``v`` is the OR of the rows of ``v``'s
-        neighbours (zeros for isolated nodes).
+        ``packed`` is the ``(replicas * n, words)`` packed schedule —
+        replica ``r`` owns rows ``r * n .. (r + 1) * n`` — and the result
+        is the same-shaped matrix whose row for node ``v`` of replica
+        ``r`` is the OR of the rows of ``v``'s neighbours *within that
+        replica* (zeros for isolated nodes).  All replicas share one
+        segmented ``bitwise_or.reduceat`` over the CSR neighbour arrays
+        replicated with a ``r * n`` shift per replica; batches whose
+        packed words exceed :data:`_BATCH_CHUNK_WORDS` run the gather in
+        replica chunks so its working set stays cache-resident (replicas
+        are independent, so chunking cannot change a bit).
         """
         adjacency = topology.adjacency
         indptr = adjacency.indptr
@@ -69,16 +147,47 @@ class BitpackedBackend(SimulationBackend):
         out = np.zeros_like(packed)
         if indices.size == 0 or packed.shape[1] == 0:
             return out
-        gathered = packed[indices]
+        n = indptr.shape[0] - 1
+        # The chunk working set is the gathered matrix (one row per
+        # directed edge) plus the replica's packed rows, so budget both —
+        # on dense neighbourhoods the edge term dominates.
+        words_per_replica = max(1, (n + indices.size) * packed.shape[1])
+        chunk = max(1, BitpackedBackend._BATCH_CHUNK_WORDS // words_per_replica)
         degrees = np.diff(indptr)
-        populated = np.flatnonzero(degrees)
-        # reduceat over only the non-empty CSR segments: consecutive
-        # populated starts delimit exactly one node's neighbour block
-        # (empty segments between them contribute no indices), and isolated
-        # nodes keep their zero rows.
-        out[populated] = np.bitwise_or.reduceat(
-            gathered, indptr[populated], axis=0
-        )
+        populated_nodes = np.flatnonzero(degrees)
+        starts = indptr[:-1]
+        for lo in range(0, replicas, chunk):
+            hi = min(lo + chunk, replicas)
+            count = hi - lo
+            if count == 1:
+                stacked_indices = indices if lo == 0 else indices + lo * n
+                chunk_starts = starts[populated_nodes]
+                chunk_rows = populated_nodes + lo * n
+            else:
+                node_shift = (
+                    np.arange(lo, hi, dtype=np.int64) * n
+                )[:, None]
+                edge_shift = (
+                    np.arange(count, dtype=np.int64) * indices.size
+                )[:, None]
+                stacked_indices = (indices[None, :] + node_shift).ravel()
+                stacked_starts = (starts[None, :] + edge_shift).ravel()
+                populated = (
+                    populated_nodes[None, :]
+                    + (np.arange(count, dtype=np.int64) * n)[:, None]
+                ).ravel()
+                chunk_starts = stacked_starts.reshape(count, n)[
+                    :, populated_nodes
+                ].ravel()
+                chunk_rows = populated + lo * n
+            gathered = packed[stacked_indices]
+            # reduceat over only the non-empty CSR segments: consecutive
+            # populated starts delimit exactly one node's neighbour block
+            # (empty segments between them contribute no indices), and
+            # isolated nodes keep their zero rows.
+            out[chunk_rows] = np.bitwise_or.reduceat(
+                gathered, chunk_starts, axis=0
+            )
         return out
 
     def neighbor_or(self, topology, beeps):

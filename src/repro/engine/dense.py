@@ -4,13 +4,25 @@ This is the seed implementation of ``run_schedule`` extracted verbatim: a
 sparse boolean matrix product for the OR-of-neighbours, then the channel
 applied to the dense heard matrix.  It defines the bit-exact semantics
 every other backend must reproduce.
+
+The replica-batched entry point stacks all ``R`` replica schedules along
+the round axis — ``(R, n, rounds)`` becomes ``(n, R * rounds)`` — so the
+OR-of-neighbours for the whole batch is still *one* CSR matrix product
+(each column is independent, so the stacking is exact); only the channel
+is applied per replica, because each replica carries its own noise stream
+and start round.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .base import SimulationBackend, validate_schedule
+from .base import (
+    SimulationBackend,
+    normalize_batch_args,
+    validate_schedule,
+    validate_schedule_batch,
+)
 
 __all__ = ["DenseBackend"]
 
@@ -28,6 +40,28 @@ class DenseBackend(SimulationBackend):
         schedule = validate_schedule(topology, schedule)
         received = topology.neighbor_or(schedule) | schedule
         return channel.apply(received, start_round)
+
+    def run_schedule_batch(
+        self, topology, schedules, channels=None, start_rounds=None
+    ):
+        """One stacked CSR matvec for all replicas, channels applied per replica."""
+        schedules = validate_schedule_batch(topology, schedules)
+        replicas, n, rounds = schedules.shape
+        channel_list, start_list = normalize_batch_args(
+            replicas, channels, start_rounds
+        )
+        if replicas == 0 or n == 0:
+            return np.zeros_like(schedules)
+        stacked = schedules.transpose(1, 0, 2).reshape(n, replicas * rounds)
+        received = (topology.neighbor_or(stacked) | stacked).reshape(
+            n, replicas, rounds
+        )
+        return np.stack(
+            [
+                channel_list[r].apply(received[:, r, :], start_list[r])
+                for r in range(replicas)
+            ]
+        )
 
     def neighbor_or(self, topology, beeps):
         return topology.neighbor_or(beeps)

@@ -79,4 +79,6 @@ def unpack_rows(packed: np.ndarray, width: int) -> np.ndarray:
         return np.zeros((n, width), dtype=bool)
     as_bytes = packed.view(np.uint8)
     bits = np.unpackbits(as_bytes, axis=1, bitorder="little", count=width)
-    return bits.astype(bool)
+    # unpackbits yields a fresh 0/1 uint8 buffer; reinterpreting it as
+    # bool is free, where astype would copy the whole matrix again.
+    return bits.view(np.bool_)

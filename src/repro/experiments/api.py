@@ -122,11 +122,23 @@ def load_cached(
 
 
 def write_cache(path: Path, result: ExperimentResult) -> None:
-    """Atomically persist a result (tmp file + rename within the dir)."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(result.to_json())
-    tmp.replace(path)
+    """Atomically persist a result (tmp file + rename within the dir).
+
+    An unusable cache destination — the directory path is an existing
+    file, the filesystem is read-only, permissions are missing — raises a
+    one-line :class:`ConfigurationError`, so the CLI's exit-2 formatter
+    handles it like every other bad ``--cache`` argument instead of
+    surfacing a raw traceback.
+    """
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(result.to_json())
+        tmp.replace(path)
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot write cache entry {path}: {error}"
+        ) from None
 
 
 def run_one(

@@ -64,6 +64,23 @@ def _render(result: "ExperimentResult", output_format: str) -> str:
     return result.to_csv()
 
 
+def _write_output_file(path: Path, content: str) -> None:
+    """Write one output artifact, folding I/O failures into the exit-2 path.
+
+    An unwritable ``--output`` destination is a usage error like any
+    other, so it must surface as a one-line :class:`ConfigurationError`
+    diagnostic, never a traceback.
+    """
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot write output file {path}: {error}"
+        ) from None
+    print(f"wrote {path}")
+
+
 def _emit(
     results: "list[ExperimentResult]",
     *,
@@ -73,12 +90,10 @@ def _emit(
     """Render results to stdout, or to per-experiment files under a dir."""
     if output_dir is not None:
         directory = Path(output_dir)
-        directory.mkdir(parents=True, exist_ok=True)
         suffix = {"text": "txt", "json": "json", "csv": "csv"}[output_format]
         for result in results:
             path = directory / f"{result.experiment_id}.{suffix}"
-            path.write_text(_render(result, output_format))
-            print(f"wrote {path}")
+            _write_output_file(path, _render(result, output_format))
         return
     if output_format == "json":
         # a single valid JSON document needs the whole array
@@ -97,15 +112,12 @@ def _sweep_emit(result, *, output_format: str, output_dir: "str | None") -> None
     """
     if output_dir is not None:
         directory = Path(output_dir)
-        directory.mkdir(parents=True, exist_ok=True)
         for name, content in (
             ("sweep.json", result.to_json() + "\n"),
             ("sweep_points.csv", result.points_csv()),
             ("sweep_cells.csv", result.cells_csv()),
         ):
-            path = directory / name
-            path.write_text(content)
-            print(f"wrote {path}")
+            _write_output_file(directory / name, content)
         return
     if output_format == "json":
         print(result.to_json())
@@ -183,7 +195,14 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
         "--cache",
         metavar="DIR",
         default=None,
-        help="on-disk point cache keyed by (point, profile, seed, backend)",
+        help="on-disk point cache keyed by (point, profile, seed, backend) "
+        "and verified against the full grid-point identity before replay",
+    )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable replica batching of each cell's seed axis (the "
+        "per-seed reference path; tables are identical either way)",
     )
     parser.add_argument(
         "--format",
@@ -216,14 +235,15 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
             backend=args.backend,
             jobs=args.jobs,
             cache_dir=args.cache,
+            batch_replicas=not args.no_batch,
             progress=note_progress,
+        )
+        _sweep_emit(
+            result, output_format=args.output_format, output_dir=args.output
         )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    _sweep_emit(
-        result, output_format=args.output_format, output_dir=args.output
-    )
     return 0
 
 
@@ -351,15 +371,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             progress=note_cache_activity if args.cache else None,
             on_result=stream_result if streaming else None,
         )
+        if results and not streaming:
+            _emit(
+                results,
+                output_format=args.output_format,
+                output_dir=args.output,
+            )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if not results:
         print(f"error: no experiments match tags {tags}", file=sys.stderr)
         return 2
-
-    if not streaming:
-        _emit(results, output_format=args.output_format, output_dir=args.output)
     return 0
 
 

@@ -73,7 +73,10 @@ def derive_rng(seed: int, *context: object) -> np.random.Generator:
     True
     """
     digest = _context_digest(seed, context)
-    key = np.frombuffer(digest[:16], dtype=np.uint64)
+    # A scalar int key takes Philox's fast construction path and yields
+    # the same 2x64-bit key (little-endian) as the frombuffer view did —
+    # identical streams, measurably cheaper per derivation.
+    key = int.from_bytes(digest[:16], "little")
     return np.random.Generator(np.random.Philox(key=key))
 
 

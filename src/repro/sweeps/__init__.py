@@ -24,8 +24,10 @@ or, from the command line::
 Layering (see ``docs/ARCHITECTURE.md``): a :class:`GridSpec`
 (:mod:`~repro.sweeps.grid`) expands topology-family × size × noise ×
 backend × seed axes into :class:`GridPoint` cells; the engine
-(:mod:`~repro.sweeps.engine`) simulates each point with one amortised
-:class:`~repro.core.round_simulator.BroadcastSession`, fanning out over
+(:mod:`~repro.sweeps.engine`) groups each cell's seed axis into one
+replica-batched :class:`~repro.core.round_simulator.BatchedSession`
+(bit-identical to the per-seed sessions — pass
+``batch_replicas=False`` for the reference path), fanning out over
 processes and caching per-point results exactly like the Experiment API
 v2 runner; :class:`SweepResult` (:mod:`~repro.sweeps.result`)
 aggregates the long-form records into per-cell statistics that are
@@ -33,13 +35,14 @@ bit-identical across simulation backends.
 """
 
 from .grid import GridPoint, GridSpec, load_grid
-from .engine import execute_point, run
+from .engine import execute_batch, execute_point, run
 from .result import SweepResult
 
 __all__ = [
     "GridPoint",
     "GridSpec",
     "SweepResult",
+    "execute_batch",
     "execute_point",
     "load_grid",
     "run",

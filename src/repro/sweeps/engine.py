@@ -1,21 +1,37 @@
-"""The sweep engine: execute a grid, point by point, cached and parallel.
+"""The sweep engine: execute a grid, cell by cell, batched, cached, parallel.
 
 Each :class:`~repro.sweeps.grid.GridPoint` becomes one **amortised
 simulation**: the zoo graph is built (seed-derived), code parameters are
-sized from the realised maximum degree, and a single
-:class:`~repro.core.round_simulator.BroadcastSession` runs every
-Broadcast CONGEST round of the point — codes, channel, backend state and
+sized from the realised maximum degree, and the point's Broadcast CONGEST
+rounds run through the session engine of
+:mod:`repro.core.round_simulator` — codes, channel, backend state and
 decoder matrices are constructed once per point, not once per round.
 
-Execution reuses the Experiment API v2 machinery wholesale: points fan
+On top of that the engine **auto-batches the seed axis**: pending points
+that differ only by seed (one grid *cell*) are grouped, and every subset
+whose seed-derived graphs realise the *same* topology — always the whole
+cell for deterministic families like ``path`` or ``hypercube``, usually
+singletons for randomised families like ``expander`` — executes as one
+:class:`~repro.core.round_simulator.BatchedSession`, which stacks the
+replicas into single 3-D backend calls.  Batching never changes a
+simulated number: replica ``r`` of a batch is bit-identical to the
+standalone per-seed session (the :class:`BatchedSession` contract), so
+``run(grid, batch_replicas=False)`` and the default batched run produce
+identical :class:`~repro.sweeps.result.SweepResult` tables.
+
+Execution reuses the Experiment API v2 machinery wholesale: work fans
 out over a :class:`concurrent.futures.ProcessPoolExecutor` exactly like
-experiment ids do in :func:`repro.experiments.api.run`, and each point's
-record is cached on disk as an :class:`~repro.experiments.result.ExperimentResult`
-through the same :func:`~repro.experiments.api.cache_path` /
+experiment ids do in :func:`repro.experiments.api.run` (one batch group
+per task), and each point's record is cached on disk as an
+:class:`~repro.experiments.result.ExperimentResult` through the same
+:func:`~repro.experiments.api.cache_path` /
 :func:`~repro.experiments.api.load_cached` /
 :func:`~repro.experiments.api.write_cache` helpers — keyed by
-``(point slug, profile, seed, backend)``, so re-running a grid replays
-instantly and changing any axis value re-simulates only the new cells.
+``(point slug, profile, seed, backend)`` and **verified** against the
+full :class:`GridPoint` identity (family, generator params, ``n``,
+``eps``, ``gamma``, ``rounds``, backend, seed) before replay, so neither
+an edited grid axis nor a slug sanitisation collision can resurrect a
+stale cell.
 
 Determinism: all randomness derives from ``(seed, family, n, eps,
 gamma)`` via :func:`repro.rng.derive_seed` — never from the backend — so
@@ -29,10 +45,10 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 from ..core.parameters import SimulationParameters
-from ..core.round_simulator import BroadcastSession
+from ..core.round_simulator import BatchedSession
 from ..engine import get_backend
 from ..errors import ConfigurationError
 from ..experiments import api
@@ -43,7 +59,7 @@ from ..rng import derive_rng, derive_seed, random_bits
 from .grid import GridPoint, GridSpec, load_grid
 from .result import POINT_FIELDS, SweepResult
 
-__all__ = ["run", "execute_point"]
+__all__ = ["run", "execute_point", "execute_batch"]
 
 #: Title of the single table each point result carries.
 _POINT_TABLE_TITLE = "sweep-point"
@@ -55,55 +71,48 @@ _MEASURED_FIELDS = tuple(
 )
 
 
-def execute_point(point: GridPoint, profile: str = "quick") -> ExperimentResult:
-    """Simulate one grid point end to end and return its structured result.
-
-    Builds the validated zoo graph, sizes :class:`SimulationParameters`
-    from the realised ``Δ``, then drives one amortised
-    :class:`BroadcastSession` through ``point.rounds`` Broadcast CONGEST
-    rounds of uniformly random ``B``-bit messages (all nodes transmit).
-    Every stream — graph, channel, per-round strings, messages — derives
-    from ``(seed, family, n, eps, gamma)``, deliberately excluding the
-    backend so backends stay comparable cell by cell.
-    """
+def _point_topology(point: GridPoint) -> Topology:
+    """Build the point's validated zoo graph (seed-derived) as a topology."""
     graph_seed = derive_seed(point.seed, "sweep-graph", point.family, point.n)
     graph = build_family_graph(
         point.family, point.n, seed=graph_seed, params=dict(point.params)
     )
-    topology = Topology(graph)
-    params = SimulationParameters.for_network(
+    return Topology(graph)
+
+
+def _point_parameters(point: GridPoint, topology: Topology) -> SimulationParameters:
+    """Size code parameters from the point axes and the realised ``Δ``."""
+    return SimulationParameters.for_network(
         point.n, topology.max_degree, eps=point.eps, gamma=point.gamma
     )
-    session_seed = derive_seed(
+
+
+def _session_seed(point: GridPoint) -> int:
+    """The per-point master seed: every stream but the backend derives here."""
+    return derive_seed(
         point.seed, "sweep-session", point.family, point.n, point.eps, point.gamma
     )
-    started = time.perf_counter()
-    session = BroadcastSession(
-        topology, params, session_seed, backend=point.backend
-    )
-    message_rng = derive_rng(session_seed, "sweep-messages")
-    successes = 0
-    phase1_errors = 0
-    phase2_errors = 0
-    r_collisions = 0
-    for _round in range(point.rounds):
-        messages = [
-            random_bits(message_rng, params.message_bits)
-            for _ in range(point.n)
-        ]
-        outcome = session.run_round(messages)
-        successes += 1 if outcome.success else 0
-        phase1_errors += outcome.phase1_errors
-        phase2_errors += outcome.phase2_errors
-        r_collisions += 1 if outcome.r_collision else 0
-    elapsed = time.perf_counter() - started
 
+
+def _point_result(
+    point: GridPoint,
+    profile: str,
+    topology: Topology,
+    params: SimulationParameters,
+    successes: int,
+    phase1_errors: int,
+    phase2_errors: int,
+    r_collisions: int,
+    elapsed: float,
+) -> ExperimentResult:
+    """Assemble one point's structured result from its accumulated counters."""
     table = Table(title=_POINT_TABLE_TITLE, headers=list(_MEASURED_FIELDS))
     table.add_row(
         point.family,
         point.params_label(),
         point.n,
         point.eps,
+        point.gamma,
         point.backend,
         point.seed,
         topology.max_degree,
@@ -129,10 +138,123 @@ def execute_point(point: GridPoint, profile: str = "quick") -> ExperimentResult:
     )
 
 
-def _execute_payload(payload: "tuple[GridPoint, str]") -> dict:
-    """Worker-process entry: run one point, return its dict form."""
-    point, profile = payload
-    return execute_point(point, profile=profile).to_dict()
+def execute_point(point: GridPoint, profile: str = "quick") -> ExperimentResult:
+    """Simulate one grid point end to end and return its structured result.
+
+    Builds the validated zoo graph, sizes :class:`SimulationParameters`
+    from the realised ``Δ``, then drives ``point.rounds`` Broadcast
+    CONGEST rounds of uniformly random ``B``-bit messages (all nodes
+    transmit) through one amortised session.  Every stream — graph,
+    channel, per-round strings, messages — derives from ``(seed, family,
+    n, eps, gamma)``, deliberately excluding the backend so backends stay
+    comparable cell by cell.  Implemented as a batch of one, which the
+    :class:`~repro.core.round_simulator.BatchedSession` contract makes
+    bit-identical to the historical per-seed
+    :class:`~repro.core.round_simulator.BroadcastSession` loop.
+    """
+    [result] = execute_batch([point], profile=profile)
+    return result
+
+
+def execute_batch(
+    points: "Sequence[GridPoint]", profile: str = "quick"
+) -> list[ExperimentResult]:
+    """Simulate a group of same-cell points (differing only by seed) at once.
+
+    All points must share every axis except ``seed``.  Seeds whose
+    derived graphs realise the same topology run as one
+    :class:`~repro.core.round_simulator.BatchedSession` (replica-batched
+    backend calls); seeds with distinct graphs — randomised families —
+    fall back to singleton batches.  Results come back in input order and
+    are value-identical to ``[execute_point(p) for p in points]`` except
+    for wall-clock metadata (a batch's elapsed time is divided evenly
+    over its replicas).
+    """
+    if not points:
+        return []
+    first = points[0]
+    for point in points[1:]:
+        if (
+            point.family != first.family
+            or point.params != first.params
+            or point.n != first.n
+            or point.eps != first.eps
+            or point.backend != first.backend
+            or point.rounds != first.rounds
+            or point.gamma != first.gamma
+        ):
+            raise ConfigurationError(
+                "execute_batch points must differ only by seed; got "
+                f"{point.label()} next to {first.label()}"
+            )
+    topologies = [_point_topology(point) for point in points]
+
+    # Replica groups: identical realised adjacency (deterministic families
+    # collapse to one group; randomised families usually split apart).
+    groups: dict[bytes, list[int]] = {}
+    for index, topology in enumerate(topologies):
+        adjacency = topology.adjacency
+        fingerprint = adjacency.indptr.tobytes() + adjacency.indices.tobytes()
+        groups.setdefault(fingerprint, []).append(index)
+
+    results: list[ExperimentResult] = [None] * len(points)  # type: ignore[list-item]
+    for indices in groups.values():
+        topology = topologies[indices[0]]
+        params = _point_parameters(first, topology)
+        started = time.perf_counter()
+        session = BatchedSession(
+            topology,
+            params,
+            [_session_seed(points[index]) for index in indices],
+            backend=first.backend,
+        )
+        message_rngs = [
+            derive_rng(_session_seed(points[index]), "sweep-messages")
+            for index in indices
+        ]
+        successes = [0] * len(indices)
+        phase1_errors = [0] * len(indices)
+        phase2_errors = [0] * len(indices)
+        r_collisions = [0] * len(indices)
+        for _round in range(first.rounds):
+            batch_messages = [
+                [
+                    random_bits(rng, params.message_bits)
+                    for _ in range(first.n)
+                ]
+                for rng in message_rngs
+            ]
+            outcomes = session.run_round(batch_messages)
+            for position, outcome in enumerate(outcomes):
+                successes[position] += 1 if outcome.success else 0
+                phase1_errors[position] += outcome.phase1_errors
+                phase2_errors[position] += outcome.phase2_errors
+                r_collisions[position] += 1 if outcome.r_collision else 0
+        elapsed = (time.perf_counter() - started) / len(indices)
+        for position, index in enumerate(indices):
+            results[index] = _point_result(
+                points[index],
+                profile,
+                topology,
+                params,
+                successes[position],
+                phase1_errors[position],
+                phase2_errors[position],
+                r_collisions[position],
+                elapsed,
+            )
+    # Every input index is covered by exactly one fingerprint group, so
+    # no slot can be left empty — fail loudly rather than ever letting a
+    # coverage bug misalign results with their points.
+    if any(result is None for result in results):  # pragma: no cover
+        raise ConfigurationError("execute_batch left a point without a result")
+    return results
+
+
+def _execute_payload(payload: "tuple[tuple[GridPoint, ...], str]") -> list[dict]:
+    """Worker-process entry: run one batch group, return its dict forms."""
+    points, profile = payload
+    return [result.to_dict() for result in execute_batch(list(points), profile=profile)]
 
 
 def _point_record(point: GridPoint, result: ExperimentResult) -> dict:
@@ -148,6 +270,101 @@ def _point_record(point: GridPoint, result: ExperimentResult) -> dict:
     return record
 
 
+def _cache_identity_matches(point: GridPoint, result: ExperimentResult) -> bool:
+    """Whether a cached result's record carries exactly ``point``'s identity.
+
+    The cache file name and stored ``experiment_id`` are the sanitised
+    :meth:`GridPoint.slug`, which can collide for distinct axis values
+    (sanitisation maps punctuation-only differences onto one name) and
+    predates schema additions; the long-form record inside the result
+    carries the *unsanitised* identity, so replay requires every
+    identity column — family, generator params, ``n``, ``eps``,
+    ``gamma``, backend, seed, ``rounds`` — to match the requested point
+    exactly.  Anything malformed or mismatched is a cache miss.
+    """
+    try:
+        record = _point_record(point, result)
+    except (ValueError, KeyError, TypeError):
+        return False
+    try:
+        return (
+            record["family"] == point.family
+            and record["params"] == point.params_label()
+            and record["n"] == point.n
+            and record["eps"] == point.eps
+            and record["gamma"] == point.gamma
+            and record["backend"] == point.backend
+            and record["seed"] == point.seed
+            and record["rounds"] == point.rounds
+        )
+    except KeyError:
+        return False
+
+
+def _load_cached_point(
+    cache_dir: "str | Path", point: GridPoint, profile: str
+) -> "ExperimentResult | None":
+    """Probe the on-disk cache for one point, with full identity verification."""
+    cached = api.load_cached(
+        api.cache_path(
+            cache_dir,
+            point.slug(),
+            profile=profile,
+            seed=point.seed,
+            backend=point.backend,
+        ),
+        experiment_id=point.slug(),
+        profile=profile,
+        seed=point.seed,
+        backend_name=point.backend,
+    )
+    if cached is None or not _cache_identity_matches(point, cached):
+        return None
+    return cached
+
+
+def _batch_groups(
+    points: "Sequence[GridPoint]",
+    pending: "Sequence[int]",
+    batch_replicas: bool,
+    jobs: int = 1,
+) -> list[list[int]]:
+    """Partition pending point indices into executable batch groups.
+
+    With ``batch_replicas`` on, points sharing every axis but seed (one
+    grid cell) form one group, in first-seen order; otherwise every
+    point is its own group (the per-seed reference path).  When fewer
+    groups than ``jobs`` come out, the largest groups are halved until
+    the worker pool can be saturated — sub-groups of a cell still batch
+    internally, so this trades some batching width for fan-out instead
+    of leaving workers idle on few-cell grids.
+    """
+    if not batch_replicas:
+        return [[index] for index in pending]
+    groups: dict[tuple, list[int]] = {}
+    for index in pending:
+        point = points[index]
+        key = (
+            point.family,
+            point.params,
+            point.n,
+            point.eps,
+            point.backend,
+            point.rounds,
+            point.gamma,
+        )
+        groups.setdefault(key, []).append(index)
+    split = list(groups.values())
+    while len(split) < min(jobs, len(pending)):
+        largest = max(range(len(split)), key=lambda i: len(split[i]))
+        if len(split[largest]) < 2:
+            break
+        group = split.pop(largest)
+        half = len(group) // 2
+        split.extend([group[:half], group[half:]])
+    return split
+
+
 def run(
     grid: "GridSpec | Mapping | str | Path",
     *,
@@ -155,6 +372,7 @@ def run(
     backend: "str | None" = None,
     jobs: int = 1,
     cache_dir: "str | Path | None" = None,
+    batch_replicas: bool = True,
     progress: Callable[[str], None] | None = None,
 ) -> SweepResult:
     """Execute a sweep grid and return the aggregated :class:`SweepResult`.
@@ -171,10 +389,16 @@ def run(
         Override the grid's backend axis wholesale (the CLI
         ``--backend`` flag); ``None`` keeps the grid's own axis.
     jobs:
-        Worker processes; ``1`` runs points serially in-process.
+        Worker processes; ``1`` runs batch groups serially in-process.
     cache_dir:
         On-disk result cache shared with the experiment runner; hits are
-        replayed without simulating (flagged ``cached`` in the records).
+        replayed without simulating (flagged ``cached`` in the records)
+        after their stored identity is verified against the point.
+    batch_replicas:
+        Auto-batch each cell's seed axis into one
+        :class:`~repro.core.round_simulator.BatchedSession` (the
+        default).  ``False`` forces the per-seed reference path; both
+        settings produce identical tables, only wall-clock differs.
     progress:
         Optional callback receiving one-line per-point status messages.
     """
@@ -188,21 +412,11 @@ def run(
     hits: dict[int, ExperimentResult] = {}
     pending: list[int] = []
     for index, point in enumerate(points):
-        cached = None
-        if cache_dir is not None:
-            cached = api.load_cached(
-                api.cache_path(
-                    cache_dir,
-                    point.slug(),
-                    profile=profile,
-                    seed=point.seed,
-                    backend=point.backend,
-                ),
-                experiment_id=point.slug(),
-                profile=profile,
-                seed=point.seed,
-                backend_name=point.backend,
-            )
+        cached = (
+            _load_cached_point(cache_dir, point, profile)
+            if cache_dir is not None
+            else None
+        )
         if cached is not None:
             hits[index] = cached
         else:
@@ -229,20 +443,29 @@ def run(
             )
             progress(f"{points[index].label()}: {status}")
 
+    groups = _batch_groups(points, pending, batch_replicas, jobs=jobs)
     if pending and jobs > 1:
-        payloads = [(points[index], profile) for index in pending]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        payloads = [
+            (tuple(points[index] for index in group), profile)
+            for group in groups
+        ]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as pool:
             fresh = pool.map(_execute_payload, payloads)  # yields in order
-            for index in pending:
-                finish(index, ExperimentResult.from_dict(next(fresh)))
+            for group in groups:
+                group_dicts = next(fresh)
+                for index, payload_dict in zip(group, group_dicts):
+                    finish(index, ExperimentResult.from_dict(payload_dict))
         for index in hits:
             finish(index, hits[index])
     else:
-        for index, point in enumerate(points):
-            if index in hits:
-                finish(index, hits[index])
-            else:
-                finish(index, execute_point(point, profile=profile))
+        for group in groups:
+            group_results = execute_batch(
+                [points[index] for index in group], profile=profile
+            )
+            for index, result in zip(group, group_results):
+                finish(index, result)
+        for index in hits:
+            finish(index, hits[index])
 
     # Record the grid *as executed*: a --backend override replaces the
     # spec's backend axis in the serialized metadata too, so re-running

@@ -18,6 +18,7 @@ aggregation for :mod:`repro.sweeps.engine`.
 
 from __future__ import annotations
 
+import hashlib
 import re
 import tomllib
 from dataclasses import dataclass, field, fields
@@ -95,14 +96,28 @@ class GridPoint:
             if value is not None
         )
 
+    def identity(self) -> str:
+        """The full, unsanitised simulation identity of the point.
+
+        Everything that determines the *simulated numbers* except seed,
+        backend, and profile (those are separate cache-key components),
+        rendered losslessly — floats at full ``repr`` precision, params
+        through :meth:`params_label`.
+        """
+        return (
+            f"{self.family}|{self.params_label()}|n={self.n}|"
+            f"eps={self.eps!r}|rounds={self.rounds}|gamma={self.gamma}"
+        )
+
     def slug(self) -> str:
         """The point's cache/result identifier (filesystem-safe).
 
-        Encodes everything that determines the *simulated numbers* except
-        seed, backend, and profile — those are separate cache-key
-        components (see :func:`repro.experiments.api.cache_path`).
-        Floats are embedded at full ``repr`` precision so distinct noise
-        rates cannot collide onto one cache entry.
+        Encodes :meth:`identity` in readable, sanitised form and appends
+        a short digest of the unsanitised identity, so two points whose
+        labels differ only in sanitised-away punctuation still get
+        distinct cache keys (replay additionally verifies the stored
+        record against the full identity; see
+        :mod:`repro.sweeps.engine`).
         """
         parts = [f"sweep-{self.family}"]
         if self.params_label():
@@ -111,6 +126,8 @@ class GridPoint:
         parts.append(f"eps{self.eps!r}")
         parts.append(f"r{self.rounds}")
         parts.append(f"g{self.gamma}")
+        digest = hashlib.sha256(self.identity().encode("utf-8")).hexdigest()[:8]
+        parts.append(f"id{digest}")
         return re.sub(r"[^A-Za-z0-9_.=-]+", "-", "-".join(parts))
 
     def label(self) -> str:
@@ -365,11 +382,22 @@ class GridSpec:
 
     @classmethod
     def from_toml(cls, path: "str | Path") -> "GridSpec":
-        """Load and validate a ``grid.toml`` file."""
+        """Load and validate a ``grid.toml`` file.
+
+        Every way the file can be unusable — missing, unreadable, not
+        UTF-8, not TOML — raises the same one-line
+        :class:`ConfigurationError` the rest of the CLI surface does.
+        """
         try:
-            text = Path(path).read_text()
+            # TOML mandates UTF-8; decode it explicitly so the error
+            # branch below means what it says regardless of locale.
+            text = Path(path).read_text(encoding="utf-8")
         except OSError as error:
             raise _one_line(f"cannot read grid file {path!s}: {error}") from None
+        except UnicodeDecodeError as error:
+            raise _one_line(
+                f"grid file {path!s} is not UTF-8 text: {error}"
+            ) from None
         try:
             payload = tomllib.loads(text)
         except tomllib.TOMLDecodeError as error:

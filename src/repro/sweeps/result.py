@@ -30,7 +30,8 @@ from ..experiments.table import Table
 __all__ = ["SWEEP_SCHEMA_VERSION", "POINT_FIELDS", "CELL_KEY", "SweepResult"]
 
 #: Bump when the serialized sweep layout changes incompatibly.
-SWEEP_SCHEMA_VERSION = 1
+#: Version 2 added the ``gamma`` identity column to the point records.
+SWEEP_SCHEMA_VERSION = 2
 
 #: Column order of the long-form per-point records.
 POINT_FIELDS: tuple[str, ...] = (
@@ -38,6 +39,7 @@ POINT_FIELDS: tuple[str, ...] = (
     "params",
     "n",
     "eps",
+    "gamma",
     "backend",
     "seed",
     "delta",

@@ -9,6 +9,7 @@ import pytest
 from repro.engine import get_default_backend
 from repro.experiments.harness import _experiment_id_summary, main
 from repro.experiments.registry import EXPERIMENTS
+from repro.sweeps.result import SWEEP_SCHEMA_VERSION
 
 GRID_TOML = (
     "[grid]\n"
@@ -161,6 +162,24 @@ class TestSelection:
         second = capsys.readouterr().out
         assert first == second  # replayed result renders identically
 
+    def test_cache_path_is_a_file_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(["e03", "--cache", str(blocker)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot write cache entry" in err
+        assert "Traceback" not in err
+
+    def test_output_dir_unwritable_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(
+            ["e03", "--format", "json", "--output", str(blocker / "sub")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "cannot write output file" in err
+        assert "Traceback" not in err
+
     def test_profile_label_recorded(self, capsys):
         assert main(["e01", "--profile", "smoke", "--format", "json"]) == 0
         [doc] = json.loads(capsys.readouterr().out)
@@ -194,7 +213,7 @@ class TestSweepSubcommand:
             ["sweep", "--grid", self.write_grid(tmp_path), "--format", "json"]
         ) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == SWEEP_SCHEMA_VERSION
         assert len(doc["points"]) == 2
         assert doc["points"][0]["family"] == "cycle"
         assert doc["cells"]
@@ -271,6 +290,62 @@ class TestSweepSubcommand:
     def test_missing_grid_file_exits_2(self, tmp_path, capsys):
         assert main(["sweep", "--grid", str(tmp_path / "nope.toml")]) == 2
         assert "cannot read grid file" in capsys.readouterr().err
+
+    def test_invalid_toml_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("not [valid toml")
+        assert main(["sweep", "--grid", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: invalid TOML")
+        assert "Traceback" not in err
+
+    def test_non_utf8_grid_exits_2(self, tmp_path, capsys):
+        binary = tmp_path / "binary.toml"
+        binary.write_bytes(b"\xff\xfe\x00grid")
+        assert main(["sweep", "--grid", str(binary)]) == 2
+        err = capsys.readouterr().err
+        assert "not UTF-8" in err
+        assert "Traceback" not in err
+
+    def test_cache_path_is_a_file_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(
+            ["sweep", "--grid", self.write_grid(tmp_path), "--cache", str(blocker)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "cannot write cache entry" in err
+        assert "Traceback" not in err
+
+    def test_output_dir_unwritable_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(
+            [
+                "sweep",
+                "--grid",
+                self.write_grid(tmp_path),
+                "--output",
+                str(blocker / "sub"),
+            ]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "cannot write output file" in err
+        assert "Traceback" not in err
+
+    def test_no_batch_flag_produces_identical_tables(self, tmp_path, capsys):
+        grid = self.write_grid(tmp_path)
+        assert main(["sweep", "--grid", grid, "--format", "csv"]) == 0
+        batched = capsys.readouterr().out
+        assert main(["sweep", "--grid", grid, "--no-batch", "--format", "csv"]) == 0
+        reference = capsys.readouterr().out
+
+        def cells_block(output):
+            # the aggregate cells table excludes wall-clock columns by
+            # design, so batched and per-seed runs must match verbatim
+            return output.split("# table: sweep / cells\n")[1]
+
+        assert cells_block(batched) == cells_block(reference)
 
     def test_list_families(self, capsys):
         assert main(["sweep", "--list-families"]) == 0

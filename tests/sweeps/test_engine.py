@@ -8,8 +8,9 @@ import pytest
 
 from repro import sweeps
 from repro.errors import ConfigurationError
+from repro.experiments import api
 from repro.sweeps import GridSpec, SweepResult
-from repro.sweeps.engine import execute_point
+from repro.sweeps.engine import execute_batch, execute_point
 from repro.sweeps.result import CELL_KEY, POINT_FIELDS
 
 #: The acceptance-criteria grid: >= 3 families x >= 2 sizes x >= 2 noises.
@@ -213,3 +214,134 @@ class TestSweepResult:
         assert len(points_csv.splitlines()) == 2
         cells_csv = result.cells_csv()
         assert cells_csv.startswith("family,")
+
+
+def _timing_free(result: SweepResult) -> list[dict]:
+    return [
+        {k: v for k, v in point.items() if k not in ("elapsed", "cached")}
+        for point in result.points
+    ]
+
+
+class TestReplicaBatching:
+    """The seed axis auto-batches without changing a single number."""
+
+    def test_batched_equals_per_seed_reference(self):
+        batched = sweeps.run(ACCEPTANCE_GRID, batch_replicas=True)
+        reference = sweeps.run(ACCEPTANCE_GRID, batch_replicas=False)
+        assert _timing_free(batched) == _timing_free(reference)
+        assert batched.cells_csv() == reference.cells_csv()
+
+    @pytest.mark.parametrize("backend", ["dense", "bitpacked"])
+    def test_batched_equals_per_seed_both_backends(self, backend):
+        grid = {**ACCEPTANCE_GRID, "sizes": [8]}
+        batched = sweeps.run(grid, backend=backend, batch_replicas=True)
+        reference = sweeps.run(grid, backend=backend, batch_replicas=False)
+        assert _timing_free(batched) == _timing_free(reference)
+
+    def test_randomised_families_fall_back_to_singletons(self):
+        # expander graphs re-randomise per seed, so replica groups within
+        # a cell are singletons — results must still match the reference.
+        grid = {
+            "topologies": ["expander"],
+            "sizes": [8],
+            "noises": [0.0],
+            "seeds": [0, 1, 2],
+            "rounds": 1,
+        }
+        batched = sweeps.run(grid, batch_replicas=True)
+        reference = sweeps.run(grid, batch_replicas=False)
+        assert _timing_free(batched) == _timing_free(reference)
+
+    def test_parallel_batched_matches_serial(self):
+        parallel = sweeps.run(ACCEPTANCE_GRID, jobs=3)
+        serial = sweeps.run(ACCEPTANCE_GRID)
+        assert _timing_free(parallel) == _timing_free(serial)
+
+    def test_execute_batch_rejects_mixed_cells(self):
+        spec = sweeps.load_grid(ACCEPTANCE_GRID)
+        points = spec.expand()
+        mixed = [points[0], points[-1]]  # different family/size/noise
+        with pytest.raises(ConfigurationError):
+            execute_batch(mixed)
+
+    def test_execute_batch_empty(self):
+        assert execute_batch([]) == []
+
+    def test_execute_point_is_a_batch_of_one(self):
+        spec = sweeps.load_grid({**ACCEPTANCE_GRID, "seeds": [0]})
+        point = spec.expand()[0]
+        single = execute_point(point)
+        [batched] = execute_batch([point])
+        assert single.tables[0].rows == batched.tables[0].rows
+
+
+class TestCacheIdentity:
+    """Regression: the point cache must key on the full GridPoint identity."""
+
+    BASE = {
+        "topologies": ["cycle"],
+        "sizes": [8],
+        "noises": [0.0],
+        "seeds": [0],
+        "rounds": 1,
+        "gamma": 1,
+    }
+
+    def test_gamma_edit_misses_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        sweeps.run(self.BASE, cache_dir=cache)
+        replay = sweeps.run(self.BASE, cache_dir=cache)
+        assert all(point["cached"] for point in replay.points)
+        edited = sweeps.run({**self.BASE, "gamma": 2}, cache_dir=cache)
+        assert not any(point["cached"] for point in edited.points)
+        assert edited.points[0]["gamma"] == 2
+        assert edited.points[0]["message_bits"] == 6
+
+    def test_rounds_edit_misses_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        sweeps.run(self.BASE, cache_dir=cache)
+        edited = sweeps.run({**self.BASE, "rounds": 2}, cache_dir=cache)
+        assert not any(point["cached"] for point in edited.points)
+        assert edited.points[0]["rounds"] == 2
+
+    def test_family_params_edit_misses_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        grid = {
+            "topologies": ["expander"],
+            "sizes": [8],
+            "noises": [0.0],
+            "seeds": [0],
+            "rounds": 1,
+            "params": {"expander": {"degree": 3}},
+        }
+        sweeps.run(grid, cache_dir=cache)
+        edited = sweeps.run(
+            {**grid, "params": {"expander": {"degree": 7}}}, cache_dir=cache
+        )
+        assert not any(point["cached"] for point in edited.points)
+        assert "degree=7" in edited.points[0]["params"]
+
+    def test_forged_entry_with_matching_name_is_rejected(self, tmp_path):
+        """A cache file whose *name* matches but whose stored identity does
+        not (the slug-sanitisation collision scenario) must be a miss."""
+        cache = tmp_path / "cache"
+        sweeps.run(self.BASE, cache_dir=cache)
+        other = {**self.BASE, "gamma": 2}
+        point = sweeps.load_grid(self.BASE).expand()[0]
+        other_point = sweeps.load_grid(other).expand()[0]
+        source = api.cache_path(
+            cache, point.slug(), profile="quick", seed=0, backend="auto"
+        )
+        target = api.cache_path(
+            cache, other_point.slug(), profile="quick", seed=0, backend="auto"
+        )
+        # Forge: the gamma=1 result planted under the gamma=2 name, with
+        # the stored experiment_id rewritten to match the file name (what
+        # a sanitisation collision would produce).
+        target.write_text(
+            source.read_text().replace(point.slug(), other_point.slug())
+        )
+        forged = sweeps.run(other, cache_dir=cache)
+        assert not any(point["cached"] for point in forged.points)
+        assert forged.points[0]["gamma"] == 2

@@ -1,0 +1,60 @@
+"""Tests for the shared bounded LRU mapping (repro.lru)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lru import LRUDict
+
+
+class TestLRUDict:
+    def test_bound_enforced(self):
+        cache = LRUDict(4)
+        for key in range(20):
+            cache[key] = key * 10
+            assert len(cache) <= 4
+        assert list(cache) == [16, 17, 18, 19]
+
+    def test_get_refreshes_recency(self):
+        cache = LRUDict(3)
+        cache[1] = "a"
+        cache[2] = "b"
+        cache[3] = "c"
+        assert cache.get(1) == "a"  # 1 becomes most recent
+        cache[4] = "d"  # evicts 2, the oldest
+        assert 1 in cache and 3 in cache and 4 in cache
+        assert 2 not in cache
+
+    def test_reinsert_refreshes_recency(self):
+        cache = LRUDict(2)
+        cache[1] = "a"
+        cache[2] = "b"
+        cache[1] = "a2"  # refresh, not a growth
+        cache[3] = "c"  # evicts 2
+        assert cache.get(1) == "a2"
+        assert 2 not in cache
+
+    def test_miss_returns_none(self):
+        cache = LRUDict(2)
+        assert cache.get("absent") is None
+
+    def test_limit_shrink_evicts_oldest(self):
+        cache = LRUDict(5)
+        for key in range(5):
+            cache[key] = key
+        cache.limit = 2
+        assert list(cache) == [3, 4]
+
+    def test_clear(self):
+        cache = LRUDict(3)
+        cache["x"] = 1
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUDict(0)
+        cache = LRUDict(2)
+        with pytest.raises(ConfigurationError):
+            cache.limit = 0
