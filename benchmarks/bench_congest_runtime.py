@@ -1,0 +1,200 @@
+"""CONGEST-runtime benchmark: vectorized engine vs the per-node loop.
+
+Measures the PR-5 tentpole claim end to end: running a Broadcast
+CONGEST algorithm (Algorithm 3 maximal matching, plus Luby MIS) on a
+zoo graph through the array-native runtime of
+:mod:`repro.congest.vectorized` versus the per-node object engine of
+:mod:`repro.congest.network` — both called through the same
+``run_*_bc(..., runtime=...)`` entry points, so each timing includes
+engine construction and per-node stream derivation.  Both runtimes
+produce bit-identical :class:`~repro.congest.network.RunResult`\\ s —
+verified inline, outputs/rounds/messages, before any number is
+reported — so the ratio is pure host-loop throughput.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_congest_runtime.py            # full
+    PYTHONPATH=src python benchmarks/bench_congest_runtime.py --quick    # CI smoke
+
+Writes ``BENCH_congest_runtime.json`` (see ``--output``) so CI can
+accumulate the perf trajectory, and exits non-zero if the configured
+speedup target is missed on the headline config (``--target 0``
+disables the gate; the CI smoke job runs with the gate off, since
+shared runners time noisily).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro.algorithms import run_matching_bc, run_mis_bc
+from repro.graphs import Topology, build_family_graph
+from repro.rng import derive_seed
+
+
+def results_equal(a, b) -> bool:
+    """Field-by-field RunResult equality (the bit-identity check)."""
+    return (
+        a.outputs == b.outputs
+        and a.rounds_used == b.rounds_used
+        and a.messages_sent == b.messages_sent
+        and a.finished == b.finished
+    )
+
+
+#: The measured workloads: name -> (runner, headline flag).  The headline
+#: config (the acceptance-criteria gate) is matching on the expander.
+WORKLOADS = {
+    "maximal_matching": (run_matching_bc, True),
+    "luby_mis": (run_mis_bc, False),
+}
+
+
+def build_topology(family: str, n: int, degree: int) -> Topology:
+    """The benchmark graph, seed-fixed per config (expander by default)."""
+    params = {"degree": degree} if family in ("expander", "regular") else None
+    topology = Topology(build_family_graph(family, n, seed=1, params=params))
+    topology.adjacency  # warm the CSR cache outside the timed region
+    return topology
+
+
+def measure(runner, topology, seeds, repeats):
+    """Interleaved medians of the two runtimes plus the bit-identity check.
+
+    Repeats alternate reference/vectorized so host-load noise hits both
+    sides alike; each timed call sweeps every seed.
+    """
+    for seed in seeds:
+        reference = runner(topology, seed=seed, runtime="reference")
+        vectorized = runner(topology, seed=seed, runtime="vectorized")
+        if not results_equal(reference, vectorized):
+            raise SystemExit(
+                "FATAL: vectorized result differs from the reference runtime"
+            )
+    reference_times, vectorized_times = [], []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for seed in seeds:
+            runner(topology, seed=seed, runtime="reference")
+        reference_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        for seed in seeds:
+            runner(topology, seed=seed, runtime="vectorized")
+        vectorized_times.append(time.perf_counter() - started)
+    reference_median = statistics.median(reference_times)
+    vectorized_median = statistics.median(vectorized_times)
+    return {
+        "reference_s": {
+            "best": min(reference_times),
+            "median": reference_median,
+        },
+        "vectorized_s": {
+            "best": min(vectorized_times),
+            "median": vectorized_median,
+        },
+        "speedup": (
+            reference_median / vectorized_median
+            if vectorized_median
+            else float("inf")
+        ),
+        "bit_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    """Run the benchmark and write its JSON document; 0 = target met."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--n", type=int, default=1024, help="nodes (default 1024)"
+    )
+    parser.add_argument(
+        "--family", default="expander", help="zoo family (default expander)"
+    )
+    parser.add_argument(
+        "--degree", type=int, default=3, help="expander degree (default 3)"
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, help="seeds per timed call (default 3)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="interleaved timing repeats; medians are reported (default 5)",
+    )
+    parser.add_argument(
+        "--target", type=float, default=0.0,
+        help="required headline speedup (exit 1 below it; 0 = report only)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke preset: 1 seed, 3 repeats, same n=1024 headline",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_congest_runtime.json",
+        help="JSON result path (default BENCH_congest_runtime.json)",
+    )
+    args = parser.parse_args(argv)
+    seeds = 1 if args.quick else args.seeds
+    repeats = 3 if args.quick else args.repeats
+
+    topology = build_topology(args.family, args.n, args.degree)
+    seed_values = [derive_seed(0, "bench-congest", index) for index in range(seeds)]
+
+    sections = {}
+    headline_speedup = None
+    for name, (runner, headline) in WORKLOADS.items():
+        sections[name] = measure(runner, topology, seed_values, repeats)
+        if headline:
+            headline_speedup = sections[name]["speedup"]
+
+    document = {
+        "benchmark": "congest_runtime",
+        "config": {
+            "n": args.n,
+            "family": args.family,
+            "degree": args.degree,
+            "seeds": seeds,
+            "repeats": repeats,
+            "quick": args.quick,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+        },
+        "workloads": sections,
+        "headline": {
+            "workload": "maximal_matching",
+            "speedup": headline_speedup,
+        },
+    }
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+    print(f"family={args.family} n={args.n} seeds={seeds} repeats={repeats}")
+    for name, section in sections.items():
+        print(
+            f"  {name:<16}: reference {section['reference_s']['median']:7.3f}s"
+            f"  vectorized {section['vectorized_s']['median']:7.3f}s"
+            f"  speedup {section['speedup']:6.2f}x"
+        )
+    print(f"  headline speedup: {headline_speedup:.2f}x (target {args.target:g}x)")
+    print(f"wrote {args.output}")
+    if args.target and headline_speedup < args.target:
+        print(
+            f"FAIL: speedup {headline_speedup:.2f}x below target "
+            f"{args.target:g}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,12 +12,19 @@ from .maximal_matching import (
     MaximalMatchingBC,
     UNMATCHED,
     make_matching_algorithms,
+    matching_field_widths,
     matching_message_bits,
     run_matching_bc,
 )
-from .luby_mis import LubyMISBC, make_mis_algorithms, run_mis_bc
+from .luby_mis import (
+    LubyMISBC,
+    make_mis_algorithms,
+    mis_field_widths,
+    mis_message_bits,
+    run_mis_bc,
+)
 from .coloring import ColoringBC, make_coloring_algorithms, run_coloring_bc
-from .bfs import BFSTreeBC, make_bfs_algorithms, run_bfs_bc
+from .bfs import BFSTreeBC, bfs_field_widths, make_bfs_algorithms, run_bfs_bc
 from .leader_election import (
     LeaderElectionBC,
     make_leader_algorithms,
@@ -28,17 +35,25 @@ from .verification import (
     check_matching,
     check_mis,
     check_bfs_tree,
+    check_leader_election,
 )
+from .vectorized_matching import VectorizedMaximalMatching
+from .vectorized_mis import VectorizedLubyMIS
+from .vectorized_basic import VectorizedBFSTree, VectorizedLeaderElection
 
 __all__ = [
     "MaximalMatchingBC",
     "UNMATCHED",
     "make_matching_algorithms",
+    "matching_field_widths",
     "matching_message_bits",
     "run_matching_bc",
     "LubyMISBC",
     "make_mis_algorithms",
+    "mis_field_widths",
+    "mis_message_bits",
     "run_mis_bc",
+    "bfs_field_widths",
     "ColoringBC",
     "make_coloring_algorithms",
     "run_coloring_bc",
@@ -52,4 +67,9 @@ __all__ = [
     "check_matching",
     "check_mis",
     "check_bfs_tree",
+    "check_leader_election",
+    "VectorizedMaximalMatching",
+    "VectorizedLubyMIS",
+    "VectorizedBFSTree",
+    "VectorizedLeaderElection",
 ]

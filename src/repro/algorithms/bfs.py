@@ -15,10 +15,25 @@ from ..congest.algorithm import BroadcastCongestAlgorithm
 from ..congest.context import NodeContext
 from ..congest.model import MessageCodec, required_bits
 from ..congest.network import BroadcastCongestNetwork, RunResult
+from ..congest.runtime import resolve_runtime
+from ..congest.vectorized import VectorizedBroadcastNetwork
 from ..errors import ConfigurationError
 from ..graphs import Topology
 
-__all__ = ["BFSTreeBC", "make_bfs_algorithms", "run_bfs_bc"]
+__all__ = ["BFSTreeBC", "bfs_field_widths", "make_bfs_algorithms", "run_bfs_bc"]
+
+
+def bfs_field_widths(
+    num_nodes: int, ids: "Sequence[int] | None" = None
+) -> tuple[int, int]:
+    """The BFS codec's ``(id_bits, depth_bits)`` — the one budget source.
+
+    Shared by :func:`make_bfs_algorithms`, the vectorized runtime and
+    the sweep workloads, so the runtimes can never disagree on the
+    message budget for the same run.
+    """
+    max_id = max(ids) if ids is not None else num_nodes - 1
+    return required_bits(max_id + 1), required_bits(max(2, num_nodes))
 
 
 class BFSTreeBC(BroadcastCongestAlgorithm):
@@ -53,6 +68,7 @@ class BFSTreeBC(BroadcastCongestAlgorithm):
             )
 
     def broadcast(self, round_index: int) -> int | None:
+        """Announce ``⟨ID, distance⟩`` once, in the distance's round."""
         if self._ceased:
             return None
         if (
@@ -65,6 +81,7 @@ class BFSTreeBC(BroadcastCongestAlgorithm):
         return None
 
     def receive(self, round_index: int, messages: list[int]) -> None:
+        """Adopt the smallest announcing neighbour as parent when discovered."""
         if self._ceased:
             return
         if self._announced:
@@ -102,8 +119,7 @@ def make_bfs_algorithms(
         raise ConfigurationError(f"root {root} out of range for {n} nodes")
     if ids is None:
         ids = list(range(n))
-    id_bits = required_bits(max(ids) + 1)
-    depth_bits = required_bits(max(2, n))
+    id_bits, depth_bits = bfs_field_widths(n, ids)
     budget = id_bits + depth_bits
     algorithms = [
         BFSTreeBC(is_root=(v == root), id_bits=id_bits, depth_bits=depth_bits)
@@ -117,11 +133,29 @@ def run_bfs_bc(
     root: int,
     seed: int = 0,
     ids: Sequence[int] | None = None,
+    runtime: str | None = None,
 ) -> RunResult:
-    """Run the BFS construction on a native Broadcast CONGEST network."""
+    """Run the BFS construction on a native Broadcast CONGEST network.
+
+    ``runtime`` selects the execution engine (``"vectorized"`` /
+    ``"reference"``, default the process default); both produce
+    bit-identical results per seed.
+    """
     n = topology.num_nodes
     if ids is None:
         ids = list(range(n))
+    if resolve_runtime(runtime) == "vectorized":
+        from .vectorized_basic import VectorizedBFSTree
+
+        if not 0 <= root < n:
+            raise ConfigurationError(f"root {root} out of range for {n} nodes")
+        id_bits, depth_bits = bfs_field_widths(n, ids)
+        network = VectorizedBroadcastNetwork(
+            topology, ids=ids, message_bits=id_bits + depth_bits, seed=seed
+        )
+        return network.run(
+            VectorizedBFSTree(root, id_bits, depth_bits), max_rounds=n + 2
+        )
     algorithms, budget = make_bfs_algorithms(topology, root, ids)
     network = BroadcastCongestNetwork(
         topology, ids=ids, message_bits=budget, seed=seed

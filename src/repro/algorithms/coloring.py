@@ -17,6 +17,11 @@ from ..congest.algorithm import BroadcastCongestAlgorithm
 from ..congest.context import NodeContext
 from ..congest.model import MessageCodec, required_bits
 from ..congest.network import BroadcastCongestNetwork, RunResult
+from ..congest.runtime import resolve_runtime
+from ..congest.vectorized import (
+    ObjectAlgorithmsAdapter,
+    VectorizedBroadcastNetwork,
+)
 from ..errors import ConfigurationError
 from ..graphs import Topology
 
@@ -60,6 +65,7 @@ class ColoringBC(BroadcastCongestAlgorithm):
             ) + 8
 
     def broadcast(self, round_index: int) -> int | None:
+        """Try a palette colour, then fix it if no neighbour conflicted."""
         if self._ceased:
             return None
         _, phase = divmod(round_index, _PHASES)
@@ -79,6 +85,7 @@ class ColoringBC(BroadcastCongestAlgorithm):
         return None
 
     def receive(self, round_index: int, messages: list[int]) -> None:
+        """Detect candidate conflicts and strike fixed colours."""
         if self._ceased:
             return
         iteration, phase = divmod(round_index, _PHASES)
@@ -103,6 +110,7 @@ class ColoringBC(BroadcastCongestAlgorithm):
 
     @property
     def finished(self) -> bool:
+        """Whether this node has fixed a colour (or hit the cap)."""
         return self._ceased
 
     def output(self) -> object:
@@ -127,15 +135,31 @@ def make_coloring_algorithms(
 
 
 def run_coloring_bc(
-    topology: Topology, seed: int = 0, ids: Sequence[int] | None = None
+    topology: Topology,
+    seed: int = 0,
+    ids: Sequence[int] | None = None,
+    runtime: str | None = None,
 ) -> RunResult:
-    """Run the (Δ+1)-colouring on a native Broadcast CONGEST network."""
+    """Run the (Δ+1)-colouring on a native Broadcast CONGEST network.
+
+    Colouring has no columnar implementation yet, so the vectorized
+    runtime executes the per-node objects through the
+    :class:`~repro.congest.vectorized.ObjectAlgorithmsAdapter` — results
+    are bit-identical to the reference engine either way.
+    """
     n = topology.num_nodes
     if ids is None:
         ids = list(range(n))
     algorithms, budget = make_coloring_algorithms(topology, ids)
+    max_rounds = _PHASES * (8 * max(1, math.ceil(math.log2(max(2, n)))) + 8)
+    if resolve_runtime(runtime) == "vectorized":
+        network = VectorizedBroadcastNetwork(
+            topology, ids=ids, message_bits=budget, seed=seed
+        )
+        return network.run(
+            ObjectAlgorithmsAdapter(algorithms), max_rounds=max_rounds
+        )
     network = BroadcastCongestNetwork(
         topology, ids=ids, message_bits=budget, seed=seed
     )
-    max_rounds = _PHASES * (8 * max(1, math.ceil(math.log2(max(2, n)))) + 8)
     return network.run(algorithms, max_rounds=max_rounds)

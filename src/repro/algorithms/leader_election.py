@@ -15,6 +15,8 @@ from ..congest.algorithm import BroadcastCongestAlgorithm
 from ..congest.context import NodeContext
 from ..congest.model import required_bits
 from ..congest.network import BroadcastCongestNetwork, RunResult
+from ..congest.runtime import resolve_runtime
+from ..congest.vectorized import VectorizedBroadcastNetwork
 from ..errors import ConfigurationError
 from ..graphs import Topology
 
@@ -46,12 +48,14 @@ class LeaderElectionBC(BroadcastCongestAlgorithm):
         self._best = ctx.node_id
 
     def broadcast(self, round_index: int) -> int | None:
+        """Re-broadcast the best-known ID whenever it improved."""
         if self._changed:
             self._changed = False
             return self._best
         return None
 
     def receive(self, round_index: int, messages: list[int]) -> None:
+        """Fold the neighbours' broadcasts into the best-known ID."""
         assert self._best is not None
         incoming = max(messages, default=self._best)
         if incoming > self._best:
@@ -80,14 +84,29 @@ def make_leader_algorithms(
 
 
 def run_leader_election_bc(
-    topology: Topology, seed: int = 0, ids: Sequence[int] | None = None
+    topology: Topology,
+    seed: int = 0,
+    ids: Sequence[int] | None = None,
+    runtime: str | None = None,
 ) -> RunResult:
-    """Run leader election on a native Broadcast CONGEST network."""
+    """Run leader election on a native Broadcast CONGEST network.
+
+    ``runtime`` selects the execution engine (``"vectorized"`` /
+    ``"reference"``, default the process default); both produce
+    bit-identical results per seed.
+    """
     n = topology.num_nodes
     if ids is None:
         ids = list(range(n))
-    algorithms, budget = make_leader_algorithms(topology)
-    budget = max(budget, required_bits(max(ids) + 1))
+    budget = max(required_bits(max(2, n)), required_bits(max(ids) + 1))
+    if resolve_runtime(runtime) == "vectorized":
+        from .vectorized_basic import VectorizedLeaderElection
+
+        network = VectorizedBroadcastNetwork(
+            topology, ids=ids, message_bits=budget, seed=seed
+        )
+        return network.run(VectorizedLeaderElection(n), max_rounds=n + 1)
+    algorithms, _ = make_leader_algorithms(topology)
     network = BroadcastCongestNetwork(
         topology, ids=ids, message_bits=budget, seed=seed
     )

@@ -23,11 +23,40 @@ from ..congest.algorithm import BroadcastCongestAlgorithm
 from ..congest.context import NodeContext
 from ..congest.model import MessageCodec, required_bits
 from ..congest.network import BroadcastCongestNetwork, RunResult
+from ..congest.runtime import resolve_runtime
+from ..congest.vectorized import VectorizedBroadcastNetwork
 from ..errors import ConfigurationError
 from ..graphs import Topology
 from ..rng import random_bits
 
-__all__ = ["LubyMISBC", "make_mis_algorithms", "run_mis_bc"]
+__all__ = [
+    "LubyMISBC",
+    "make_mis_algorithms",
+    "mis_field_widths",
+    "mis_message_bits",
+    "run_mis_bc",
+]
+
+
+def mis_field_widths(
+    num_nodes: int, ids: "Sequence[int] | None" = None
+) -> tuple[int, int]:
+    """The MIS codec's ``(id_bits, value_bits)`` — the one budget source.
+
+    Shared by :func:`make_mis_algorithms`, the vectorized runtime and
+    the sweep workloads, so the runtimes can never disagree on the
+    message budget for the same run.
+    """
+    max_id = max(ids) if ids is not None else num_nodes - 1
+    id_bits = required_bits(max_id + 1)
+    value_bits = max(1, 4 * required_bits(max(2, num_nodes)))
+    return id_bits, value_bits
+
+
+def mis_message_bits(num_nodes: int, ids: "Sequence[int] | None" = None) -> int:
+    """Total message budget the MIS codec needs (tag + ID + ticket)."""
+    id_bits, value_bits = mis_field_widths(num_nodes, ids)
+    return 2 + id_bits + value_bits
 
 _TAG_ANNOUNCE = 0
 _TAG_TICKET = 1
@@ -69,6 +98,7 @@ class LubyMISBC(BroadcastCongestAlgorithm):
             ) + 8
 
     def broadcast(self, round_index: int) -> int | None:
+        """Announce, then per iteration: ticket, join, retire messages."""
         if self._ceased:
             return None
         if round_index == 0:
@@ -88,6 +118,7 @@ class LubyMISBC(BroadcastCongestAlgorithm):
         return None
 
     def receive(self, round_index: int, messages: list[int]) -> None:
+        """Track active neighbours, local minima, joins and retirements."""
         if self._ceased:
             return
         unpacked = [self._codec.unpack(m) for m in messages]
@@ -156,27 +187,44 @@ def make_mis_algorithms(
     n = topology.num_nodes
     if ids is None:
         ids = list(range(n))
-    id_bits = required_bits(max(ids) + 1)
-    value_bits = max(1, 4 * required_bits(max(2, n)))
-    budget = 2 + id_bits + value_bits
+    id_bits, value_bits = mis_field_widths(n, ids)
     algorithms = [
         LubyMISBC(id_bits=id_bits, value_bits=value_bits) for _ in range(n)
     ]
-    return algorithms, budget
+    return algorithms, 2 + id_bits + value_bits
 
 
 def run_mis_bc(
-    topology: Topology, seed: int = 0, ids: Sequence[int] | None = None
+    topology: Topology,
+    seed: int = 0,
+    ids: Sequence[int] | None = None,
+    runtime: str | None = None,
 ) -> RunResult:
-    """Run Luby's MIS on a native Broadcast CONGEST network."""
+    """Run Luby's MIS on a native Broadcast CONGEST network.
+
+    ``runtime`` selects the execution engine (``"vectorized"`` /
+    ``"reference"``, default the process default); both produce
+    bit-identical results per seed.
+    """
     n = topology.num_nodes
     if ids is None:
         ids = list(range(n))
+    max_rounds = 1 + _PHASES * (
+        8 * max(1, math.ceil(math.log2(max(2, n)))) + 8
+    )
+    if resolve_runtime(runtime) == "vectorized":
+        from .vectorized_mis import VectorizedLubyMIS
+
+        id_bits, value_bits = mis_field_widths(n, ids)
+        network = VectorizedBroadcastNetwork(
+            topology, ids=ids, message_bits=2 + id_bits + value_bits, seed=seed
+        )
+        return network.run(
+            VectorizedLubyMIS(id_bits=id_bits, value_bits=value_bits),
+            max_rounds=max_rounds,
+        )
     algorithms, budget = make_mis_algorithms(topology, ids)
     network = BroadcastCongestNetwork(
         topology, ids=ids, message_bits=budget, seed=seed
-    )
-    max_rounds = 1 + _PHASES * (
-        8 * max(1, math.ceil(math.log2(max(2, n)))) + 8
     )
     return network.run(algorithms, max_rounds=max_rounds)

@@ -28,6 +28,8 @@ from ..congest.algorithm import BroadcastCongestAlgorithm
 from ..congest.context import NodeContext
 from ..congest.model import MessageCodec, required_bits
 from ..congest.network import BroadcastCongestNetwork, RunResult
+from ..congest.runtime import resolve_runtime
+from ..congest.vectorized import VectorizedBroadcastNetwork
 from ..errors import ConfigurationError
 from ..graphs import Topology
 from ..rng import random_bits
@@ -35,6 +37,7 @@ from ..rng import random_bits
 __all__ = [
     "UNMATCHED",
     "MaximalMatchingBC",
+    "matching_field_widths",
     "matching_message_bits",
     "make_matching_algorithms",
     "run_matching_bc",
@@ -63,6 +66,23 @@ def _codec(id_bits: int, value_bits: int) -> MessageCodec:
     )
 
 
+def matching_field_widths(
+    num_nodes: int,
+    ids: Sequence[int] | None = None,
+    value_exponent: int = 9,
+) -> tuple[int, int]:
+    """The matching codec's ``(id_bits, value_bits)`` — the budget source.
+
+    Shared by :func:`make_matching_algorithms`, the vectorized runtime
+    and the sweep workloads, so the runtimes can never disagree on the
+    message budget for the same run.
+    """
+    max_id = max(ids) if ids is not None else num_nodes - 1
+    id_bits = required_bits(max_id + 1)
+    value_bits = max(1, value_exponent * required_bits(max(2, num_nodes)))
+    return id_bits, value_bits
+
+
 def matching_message_bits(
     num_nodes: int, id_space: int | None = None, value_exponent: int = 9
 ) -> int:
@@ -70,8 +90,13 @@ def matching_message_bits(
     sample — ``O(log n)`` bits with the paper's ``x(e) ∈ [n⁹]``
     (``value_exponent`` trades the paper's collision bound for width).
     """
-    id_bits = required_bits(id_space if id_space is not None else num_nodes)
-    value_bits = max(1, value_exponent * required_bits(num_nodes))
+    if id_space is not None:
+        id_bits = required_bits(id_space)
+        value_bits = max(1, value_exponent * required_bits(max(2, num_nodes)))
+    else:
+        id_bits, value_bits = matching_field_widths(
+            num_nodes, value_exponent=value_exponent
+        )
     return 2 + 2 * id_bits + value_bits
 
 
@@ -126,6 +151,7 @@ class MaximalMatchingBC(BroadcastCongestAlgorithm):
     # 1 + 4i .. 4 + 4i with sub-rounds Propose/Reply/Confirm/Echo.
 
     def broadcast(self, round_index: int) -> int | None:
+        """Announce, then per iteration: Propose/Reply/Confirm/Echo."""
         if self._ceased:
             return None
         if round_index == 0:
@@ -151,6 +177,7 @@ class MaximalMatchingBC(BroadcastCongestAlgorithm):
         return None
 
     def receive(self, round_index: int, messages: list[int]) -> None:
+        """Drive the handshake state machine from the heard messages."""
         if self._ceased:
             return
         if round_index == 0:
@@ -296,8 +323,9 @@ def make_matching_algorithms(
     n = topology.num_nodes
     if ids is None:
         ids = list(range(n))
-    id_bits = required_bits(max(ids) + 1)
-    value_bits = max(1, value_exponent * required_bits(max(2, n)))
+    id_bits, value_bits = matching_field_widths(
+        n, ids, value_exponent=value_exponent
+    )
     budget = 2 + 2 * id_bits + value_bits
     algorithms = [
         MaximalMatchingBC(
@@ -315,18 +343,38 @@ def run_matching_bc(
     seed: int = 0,
     ids: Sequence[int] | None = None,
     value_exponent: int = 9,
+    runtime: str | None = None,
 ) -> RunResult:
-    """Run Algorithm 3 on a native Broadcast CONGEST network."""
+    """Run Algorithm 3 on a native Broadcast CONGEST network.
+
+    ``runtime`` selects the execution engine (``"vectorized"`` /
+    ``"reference"``, default the process default); both produce
+    bit-identical results per seed.
+    """
     n = topology.num_nodes
     if ids is None:
         ids = list(range(n))
+    max_rounds = 1 + _PHASES * (
+        4 * max(1, math.ceil(math.log2(max(2, n)))) + 4
+    )
+    if resolve_runtime(runtime) == "vectorized":
+        from .vectorized_matching import VectorizedMaximalMatching
+
+        id_bits, value_bits = matching_field_widths(
+            n, ids, value_exponent=value_exponent
+        )
+        budget = 2 + 2 * id_bits + value_bits
+        network = VectorizedBroadcastNetwork(
+            topology, ids=ids, message_bits=budget, seed=seed
+        )
+        return network.run(
+            VectorizedMaximalMatching(id_bits=id_bits, value_bits=value_bits),
+            max_rounds=max_rounds,
+        )
     algorithms, budget = make_matching_algorithms(
         topology, ids, value_exponent=value_exponent
     )
     network = BroadcastCongestNetwork(
         topology, ids=ids, message_bits=budget, seed=seed
-    )
-    max_rounds = 1 + _PHASES * (
-        4 * max(1, math.ceil(math.log2(max(2, n)))) + 4
     )
     return network.run(algorithms, max_rounds=max_rounds)

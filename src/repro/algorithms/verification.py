@@ -12,7 +12,13 @@ from typing import Sequence
 from ..graphs import Topology
 from .maximal_matching import UNMATCHED
 
-__all__ = ["check_matching", "check_mis", "check_coloring", "check_bfs_tree"]
+__all__ = [
+    "check_matching",
+    "check_mis",
+    "check_coloring",
+    "check_bfs_tree",
+    "check_leader_election",
+]
 
 
 def check_matching(
@@ -81,6 +87,30 @@ def check_coloring(
     for u, v in topology.edges():
         if outputs[u] == outputs[v]:
             return False, f"edge ({u}, {v}) is monochromatic ({outputs[u]})"
+    return True, "ok"
+
+
+def check_leader_election(
+    topology: Topology,
+    ids: Sequence[int],
+    outputs: Sequence[object],
+) -> tuple[bool, str]:
+    """Check that every node elected its connected component's maximum ID.
+
+    Max-ID flooding cannot cross component boundaries, so on a
+    disconnected topology each component agrees on its own maximum —
+    which is also what the reference algorithm's horizon guarantees.
+    """
+    import networkx as nx
+
+    for component in nx.connected_components(topology.graph):
+        expected = max(ids[v] for v in component)
+        for v in component:
+            if outputs[v] != expected:
+                return (
+                    False,
+                    f"node {ids[v]} elected {outputs[v]}, expected {expected}",
+                )
     return True, "ok"
 
 

@@ -42,19 +42,53 @@ class ExecutionTrace:
     rounds_used: int = 0
     beeps: np.ndarray | None = None
     heard: np.ndarray | None = None
-    _beep_columns: list[np.ndarray] = field(default_factory=list, repr=False)
-    _heard_columns: list[np.ndarray] = field(default_factory=list, repr=False)
+    _capacity: int = field(default=0, repr=False)
+    _budget: int = field(default=0, repr=False)
 
-    def _record(self, beeps: np.ndarray, heard: np.ndarray) -> None:
-        self._beep_columns.append(beeps.copy())
-        self._heard_columns.append(heard.copy())
+    #: First allocation covers min(budget, this many) rounds; capacity
+    #: then doubles on demand, so early-stopped runs with huge budgets
+    #: never pay budget-sized peak memory.
+    _INITIAL_CAPACITY = 4096
+
+    def _prepare(self, num_nodes: int, max_rounds: int) -> None:
+        """Preallocate round-budget matrices, written in place per round.
+
+        One up-front allocation (geometrically grown toward the budget
+        when a run actually gets that far) replaces the historical
+        per-round column ``.copy()`` accumulation plus the final
+        ``np.stack`` (which briefly held the trace twice).
+        """
+        self._budget = max_rounds
+        self._capacity = min(max_rounds, self._INITIAL_CAPACITY)
+        self.beeps = np.zeros((num_nodes, self._capacity), dtype=bool)
+        self.heard = np.zeros((num_nodes, self._capacity), dtype=bool)
+
+    def _record(self, column: int, beeps: np.ndarray, heard: np.ndarray) -> None:
+        assert self.beeps is not None and self.heard is not None
+        if column >= self._capacity:
+            self._capacity = min(self._budget, 2 * self._capacity)
+            grown_beeps = np.zeros((beeps.size, self._capacity), dtype=bool)
+            grown_heard = np.zeros((heard.size, self._capacity), dtype=bool)
+            grown_beeps[:, :column] = self.beeps[:, :column]
+            grown_heard[:, :column] = self.heard[:, :column]
+            self.beeps, self.heard = grown_beeps, grown_heard
+        self.beeps[:, column] = beeps
+        self.heard[:, column] = heard
 
     def _finalize(self) -> None:
-        if self._beep_columns:
-            self.beeps = np.stack(self._beep_columns, axis=1)
-            self.heard = np.stack(self._heard_columns, axis=1)
-        self._beep_columns.clear()
-        self._heard_columns.clear()
+        if self._capacity == 0:
+            return
+        if self.rounds_used == 0:
+            # Tracing was on but no round executed: match the historical
+            # "no columns collected" shape.
+            self.beeps = None
+            self.heard = None
+        elif self.rounds_used < self._capacity:
+            assert self.beeps is not None and self.heard is not None
+            self.beeps = self.beeps[:, : self.rounds_used].copy()
+            self.heard = self.heard[:, : self.rounds_used].copy()
+        self._capacity = 0
+        self._budget = 0
 
 
 class BeepingNetwork:
@@ -122,6 +156,8 @@ class BeepingNetwork:
         if max_rounds < 0:
             raise ConfigurationError(f"max_rounds must be >= 0, got {max_rounds}")
         trace_record = ExecutionTrace()
+        if trace and max_rounds > 0:
+            trace_record._prepare(n, max_rounds)
         beeps = np.zeros(n, dtype=bool)
         for local_round in range(max_rounds):
             round_index = start_round + local_round
@@ -140,8 +176,8 @@ class BeepingNetwork:
             heard = self._channel.apply(received, round_index)
             for node, protocol in enumerate(protocols):
                 protocol.observe(round_index, bool(heard[node]))
-            trace_record.rounds_used += 1
             if trace:
-                trace_record._record(beeps, heard)
+                trace_record._record(trace_record.rounds_used, beeps, heard)
+            trace_record.rounds_used += 1
         trace_record._finalize()
         return trace_record

@@ -20,6 +20,19 @@ from .network import (
     CongestNetwork,
     RunResult,
 )
+from .runtime import (
+    KNOWN_RUNTIMES,
+    get_default_runtime,
+    resolve_runtime,
+    set_default_runtime,
+)
+from .vectorized import (
+    ObjectAlgorithmsAdapter,
+    VectorContext,
+    VectorizedBroadcastAlgorithm,
+    VectorizedBroadcastNetwork,
+    WordCodec,
+)
 
 __all__ = [
     "MessageCodec",
@@ -31,4 +44,13 @@ __all__ = [
     "BroadcastCongestNetwork",
     "CongestNetwork",
     "RunResult",
+    "KNOWN_RUNTIMES",
+    "get_default_runtime",
+    "resolve_runtime",
+    "set_default_runtime",
+    "ObjectAlgorithmsAdapter",
+    "VectorContext",
+    "VectorizedBroadcastAlgorithm",
+    "VectorizedBroadcastNetwork",
+    "WordCodec",
 ]

@@ -44,7 +44,13 @@ class BroadcastCongestAlgorithm(ABC):
 
     @property
     def finished(self) -> bool:
-        """Whether this node has terminated (default: never)."""
+        """Whether this node has terminated (default: never).
+
+        Termination must be **monotone**: once True, it stays True.  The
+        engines cache observed finish transitions for their live-node
+        accounting, so a node that reported finished is never driven
+        again.
+        """
         return False
 
     def output(self) -> object:
@@ -76,7 +82,11 @@ class CongestAlgorithm(ABC):
 
     @property
     def finished(self) -> bool:
-        """Whether this node has terminated (default: never)."""
+        """Whether this node has terminated (default: never).
+
+        Termination must be **monotone**: once True, it stays True (see
+        :attr:`BroadcastCongestAlgorithm.finished`).
+        """
         return False
 
     def output(self) -> object:

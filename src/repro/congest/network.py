@@ -132,20 +132,36 @@ class BroadcastCongestNetwork(_EngineBase):
             raise ConfigurationError(f"got {len(algorithms)} algorithms for {n} nodes")
         for index, algorithm in enumerate(algorithms):
             algorithm.setup(self._context(index, with_neighbor_ids=False))
+        # Live-node accounting: ``done`` caches each node's last observed
+        # ``finished`` state and ``live`` counts the rest, updated at the
+        # points the engine queries ``finished`` anyway — so the round
+        # loop never rescans all n nodes just to decide whether to stop.
+        done = [algorithm.finished for algorithm in algorithms]
+        live = done.count(False)
         rounds_used = 0
         messages_sent = 0
         for round_index in range(max_rounds):
-            if all(a.finished for a in algorithms):
+            if live == 0:
                 break
             broadcasts: list[int | None] = []
             for index, algorithm in enumerate(algorithms):
-                message = None if algorithm.finished else algorithm.broadcast(round_index)
+                message = None
+                if not done[index]:
+                    if algorithm.finished:
+                        done[index] = True
+                        live -= 1
+                    else:
+                        message = algorithm.broadcast(round_index)
                 if message is not None:
                     check_message(message, self._message_bits)
                     messages_sent += 1
                 broadcasts.append(message)
             for index, algorithm in enumerate(algorithms):
+                if done[index]:
+                    continue
                 if algorithm.finished:
+                    done[index] = True
+                    live -= 1
                     continue
                 inbox = [
                     broadcasts[int(u)]
@@ -153,12 +169,15 @@ class BroadcastCongestNetwork(_EngineBase):
                     if broadcasts[int(u)] is not None
                 ]
                 algorithm.receive(round_index, inbox)  # type: ignore[arg-type]
+                if algorithm.finished:
+                    done[index] = True
+                    live -= 1
             rounds_used += 1
         return RunResult(
             outputs=[a.output() for a in algorithms],
             rounds_used=rounds_used,
             messages_sent=messages_sent,
-            finished=all(a.finished for a in algorithms),
+            finished=live == 0,
         )
 
 
@@ -180,14 +199,23 @@ class CongestNetwork(_EngineBase):
             {self._ids[int(u)] for u in self._topology.neighbors[index]}
             for index in range(n)
         ]
+        # Same live-node accounting as the Broadcast CONGEST engine: a
+        # counter updated on observed finish transitions replaces the
+        # per-round all-nodes rescan.
+        done = [algorithm.finished for algorithm in algorithms]
+        live = done.count(False)
         rounds_used = 0
         messages_sent = 0
         for round_index in range(max_rounds):
-            if all(a.finished for a in algorithms):
+            if live == 0:
                 break
             inboxes: list[dict[int, int]] = [dict() for _ in range(n)]
             for index, algorithm in enumerate(algorithms):
+                if done[index]:
+                    continue
                 if algorithm.finished:
+                    done[index] = True
+                    live -= 1
                     continue
                 outgoing = algorithm.send(round_index)
                 for destination_id, message in outgoing.items():
@@ -201,12 +229,20 @@ class CongestNetwork(_EngineBase):
                     inboxes[destination][self._ids[index]] = message
                     messages_sent += 1
             for index, algorithm in enumerate(algorithms):
-                if not algorithm.finished:
-                    algorithm.receive(round_index, inboxes[index])
+                if done[index]:
+                    continue
+                if algorithm.finished:
+                    done[index] = True
+                    live -= 1
+                    continue
+                algorithm.receive(round_index, inboxes[index])
+                if algorithm.finished:
+                    done[index] = True
+                    live -= 1
             rounds_used += 1
         return RunResult(
             outputs=[a.output() for a in algorithms],
             rounds_used=rounds_used,
             messages_sent=messages_sent,
-            finished=all(a.finished for a in algorithms),
+            finished=live == 0,
         )

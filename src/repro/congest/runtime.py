@@ -1,0 +1,69 @@
+"""CONGEST runtime selection: the per-node reference loop vs array-native.
+
+Two runtimes execute the same message-passing semantics:
+
+* ``"reference"`` — the per-node object engines
+  (:class:`~repro.congest.network.BroadcastCongestNetwork` /
+  :class:`~repro.congest.network.CongestNetwork`), one Python object per
+  node, driven round by round.  This is the executable specification.
+* ``"vectorized"`` — the array-native engine
+  (:class:`~repro.congest.vectorized.VectorizedBroadcastNetwork`) whose
+  algorithm state lives in numpy arrays and whose delivery, budget
+  enforcement, accounting and termination checks are vector ops.
+
+The runtimes are **bit-identical per seed**: for every algorithm that
+ships a vectorized implementation, the per-node outputs, rounds used and
+messages sent equal the reference runtime's exactly (property-tested
+across the topology zoo).  Selecting a runtime therefore only changes
+speed, like selecting a beeping backend — ``run_*`` entry points take a
+``runtime`` argument, and ``None`` falls back to the process default set
+here (vectorized, with ``--runtime reference`` as the CLI escape hatch).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "KNOWN_RUNTIMES",
+    "resolve_runtime",
+    "get_default_runtime",
+    "set_default_runtime",
+]
+
+#: The runtimes an algorithm run can execute under.
+KNOWN_RUNTIMES: tuple[str, ...] = ("vectorized", "reference")
+
+_default_runtime = "vectorized"
+
+
+def resolve_runtime(runtime: "str | None") -> str:
+    """Validate a runtime name; ``None`` resolves to the process default.
+
+    Unknown names raise a one-line :class:`ConfigurationError` listing
+    the known runtimes — the message the CLI's exit-2 formatter prints
+    verbatim.
+    """
+    if runtime is None:
+        return _default_runtime
+    if runtime not in KNOWN_RUNTIMES:
+        raise ConfigurationError(
+            f"unknown runtime {runtime!r}; known: {', '.join(KNOWN_RUNTIMES)}"
+        )
+    return runtime
+
+
+def get_default_runtime() -> str:
+    """The runtime ``run_*`` entry points use when none is requested."""
+    return _default_runtime
+
+
+def set_default_runtime(runtime: str) -> str:
+    """Set (and return) the process-wide default runtime.
+
+    Accepts exactly the names in :data:`KNOWN_RUNTIMES`; the CLI routes
+    its ``--runtime`` flag here after :func:`resolve_runtime` validates.
+    """
+    global _default_runtime
+    _default_runtime = resolve_runtime(runtime)
+    return _default_runtime

@@ -21,7 +21,11 @@ from ..congest.context import NodeContext
 from ..congest.model import MessageCodec, check_message, required_bits
 from ..errors import ConfigurationError, ProtocolViolationError
 
-__all__ = ["CongestViaBroadcast", "congest_payload_bits"]
+__all__ = [
+    "CongestViaBroadcast",
+    "congest_payload_bits",
+    "wrap_congest_algorithms",
+]
 
 _TAG_ANNOUNCE = 0
 _TAG_PAYLOAD = 1
@@ -36,6 +40,31 @@ def congest_payload_bits(message_bits: int, id_bits: int) -> int:
             "IDs plus a payload; increase gamma or shrink the ID space"
         )
     return payload
+
+
+def wrap_congest_algorithms(
+    algorithms: "Sequence[CongestAlgorithm]",
+    ids: Sequence[int],
+    message_bits: int,
+    payload_bits: "int | None" = None,
+) -> "list[CongestViaBroadcast]":
+    """Wrap a network's CONGEST algorithms for Broadcast CONGEST execution.
+
+    The resulting per-node wrappers run under either CONGEST runtime —
+    the reference engine directly, or the vectorized driver via
+    :class:`~repro.congest.vectorized.ObjectAlgorithmsAdapter` — which
+    is how :meth:`~repro.core.transpiler.BeepSimulator.run_congest`
+    accepts the Corollary 12 path on both hosts.
+    """
+    return [
+        CongestViaBroadcast(
+            algorithm,
+            ids=ids,
+            payload_bits=payload_bits,
+            message_bits=message_bits,
+        )
+        for algorithm in algorithms
+    ]
 
 
 class CongestViaBroadcast(BroadcastCongestAlgorithm):

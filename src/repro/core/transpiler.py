@@ -16,15 +16,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..beeping.noise import NoiseModel
 from ..congest.algorithm import BroadcastCongestAlgorithm, CongestAlgorithm
 from ..congest.context import NodeContext
 from ..congest.model import check_message
+from ..congest.runtime import resolve_runtime
+from ..congest.vectorized import (
+    ObjectAlgorithmsAdapter,
+    VectorContext,
+    VectorizedBroadcastAlgorithm,
+    check_plane,
+    plane_width,
+    plane_words,
+)
 from ..engine import SimulationBackend
 from ..errors import ConfigurationError
 from ..graphs import Topology
 from ..rng import derive_rng
-from .congest_wrapper import CongestViaBroadcast
+from .congest_wrapper import wrap_congest_algorithms
 from .parameters import CandidatePolicy, SimulationParameters
 from .round_simulator import BroadcastSession
 from .stats import SimulationStats
@@ -141,10 +152,27 @@ class BeepSimulator:
 
     def run_broadcast_congest(
         self,
-        algorithms: Sequence[BroadcastCongestAlgorithm],
+        algorithms: "Sequence[BroadcastCongestAlgorithm] | VectorizedBroadcastAlgorithm",
         max_rounds: int,
+        runtime: str | None = None,
     ) -> TranspiledRunResult:
-        """Simulate a Broadcast CONGEST execution end-to-end (Theorem 11)."""
+        """Simulate a Broadcast CONGEST execution end-to-end (Theorem 11).
+
+        ``algorithms`` is either the classic per-node object sequence or
+        one whole-network :class:`~repro.congest.vectorized.
+        VectorizedBroadcastAlgorithm`.  Object sequences run under the
+        runtime selected by ``runtime`` (default: the process default) —
+        the vectorized host loop wraps them in an
+        :class:`~repro.congest.vectorized.ObjectAlgorithmsAdapter`, and
+        both host paths feed the beeping session identical broadcasts,
+        so results are bit-identical either way.
+        """
+        if isinstance(algorithms, VectorizedBroadcastAlgorithm):
+            return self._run_vectorized(algorithms, max_rounds)
+        if resolve_runtime(runtime) == "vectorized":
+            return self._run_vectorized(
+                ObjectAlgorithmsAdapter(algorithms), max_rounds
+            )
         n = self._topology.num_nodes
         if len(algorithms) != n:
             raise ConfigurationError(f"got {len(algorithms)} algorithms for {n} nodes")
@@ -186,24 +214,89 @@ class BeepSimulator:
         algorithms: Sequence[CongestAlgorithm],
         max_rounds: int,
         payload_bits: int | None = None,
+        runtime: str | None = None,
     ) -> TranspiledRunResult:
         """Simulate a CONGEST execution via Corollary 12.
 
         Each CONGEST round costs ``Δ`` simulated Broadcast CONGEST rounds
         (plus one initial ID-discovery round); ``max_rounds`` counts
-        *CONGEST* rounds.
+        *CONGEST* rounds.  ``runtime`` selects the host loop exactly as
+        in :meth:`run_broadcast_congest`.
         """
-        wrapped = [
-            CongestViaBroadcast(
-                algorithm,
-                ids=self._ids,
-                payload_bits=payload_bits,
-                message_bits=self._params.message_bits,
-            )
-            for algorithm in algorithms
-        ]
+        wrapped = wrap_congest_algorithms(
+            algorithms,
+            ids=self._ids,
+            message_bits=self._params.message_bits,
+            payload_bits=payload_bits,
+        )
         bc_budget = 1 + max_rounds * max(1, self._topology.max_degree)
-        return self.run_broadcast_congest(wrapped, bc_budget)
+        return self.run_broadcast_congest(wrapped, bc_budget, runtime=runtime)
+
+    def _run_vectorized(
+        self, algorithm: VectorizedBroadcastAlgorithm, max_rounds: int
+    ) -> TranspiledRunResult:
+        """The vectorized host loop over the amortised beeping session.
+
+        The simulated substrate is identical — the same
+        :meth:`~repro.core.round_simulator.BroadcastSession.run_round`
+        stream of broadcasts — only the host side (collection, budget
+        enforcement, inbox construction, termination) runs columnar.
+        """
+        n = self._topology.num_nodes
+        message_bits = self._params.message_bits
+        width = plane_width(message_bits)
+        net = VectorContext(
+            topology=self._topology,
+            ids=np.asarray(self._ids, dtype=np.int64),
+            num_nodes=n,
+            max_degree=self._topology.max_degree,
+            degrees=self._topology.degrees,
+            message_bits=message_bits,
+            seed=self._seed,
+        )
+        algorithm.setup(net)
+        stats = SimulationStats()
+        round_offset = 0
+        live = int(n - np.count_nonzero(algorithm.finished_mask()))
+        for round_index in range(max_rounds):
+            if live == 0:
+                break
+            messages, active = algorithm.broadcast_step(round_index)
+            active = np.asarray(active, dtype=bool)
+            words = plane_words(np.asarray(messages), message_bits)
+            check_plane(words, active, message_bits)
+            broadcasts: list[int | None] = [None] * n
+            for node in np.flatnonzero(active):
+                broadcasts[node] = sum(
+                    int(words[node, word]) << (64 * word) for word in range(width)
+                )
+            outcome = self._session.run_round(broadcasts, round_offset=round_offset)
+            round_offset += outcome.beep_rounds_used
+            stats.record_round(
+                beep_rounds=outcome.beep_rounds_used,
+                success=outcome.success,
+                phase1_errors=outcome.phase1_errors,
+                phase2_errors=outcome.phase2_errors,
+                r_collision=outcome.r_collision,
+            )
+            lengths = [len(decoded) for decoded in outcome.decoded]
+            indptr = np.concatenate(([0], np.cumsum(lengths, dtype=np.int64)))
+            inbox = np.zeros((int(indptr[-1]), width), dtype=np.uint64)
+            cursor = 0
+            for decoded in outcome.decoded:
+                for message in decoded:
+                    for word in range(width):
+                        inbox[cursor, word] = (message >> (64 * word)) & (
+                            0xFFFFFFFFFFFFFFFF
+                        )
+                    cursor += 1
+            algorithm.receive_step(round_index, indptr, inbox)
+            live = int(n - np.count_nonzero(algorithm.finished_mask()))
+        return TranspiledRunResult(
+            outputs=algorithm.outputs(),
+            finished=live == 0,
+            stats=stats,
+        )
 
     def _context(self, index: int) -> NodeContext:
         return NodeContext(

@@ -24,6 +24,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from ..congest.runtime import get_default_runtime, set_default_runtime
 from ..engine import get_default_backend, set_default_backend
 from ..errors import ConfigurationError
 from .registry import all_specs, get_spec
@@ -147,19 +148,24 @@ def run_one(
     profile: str = "quick",
     seed: int = 0,
     backend: "str | None" = None,
+    runtime: "str | None" = None,
     progress: Callable[[str], None] | None = None,
 ) -> ExperimentResult:
     """Execute a single experiment in-process and return its result.
 
-    Sets the process-wide default backend for the duration of the run
-    (restored afterwards) so every simulation layer resolves to it.
+    Sets the process-wide default backend — and, when ``runtime`` is
+    given, the default CONGEST runtime — for the duration of the run
+    (restored afterwards) so every simulation layer resolves to them.
     """
     spec = get_spec(experiment_id)
     backend_name = _backend_name(backend)
     previous_backend = get_default_backend()
+    previous_runtime = get_default_runtime()
     if backend is not None:
         set_default_backend(backend)
     try:
+        if runtime is not None:
+            set_default_runtime(runtime)
         ctx = spec.make_context(
             profile=profile, seed=seed, backend=backend_name, progress=progress
         )
@@ -168,6 +174,7 @@ def run_one(
         elapsed = time.perf_counter() - started
     finally:
         set_default_backend(previous_backend)
+        set_default_runtime(previous_runtime)
     return ExperimentResult(
         experiment_id=spec.id,
         title=spec.title,
@@ -181,15 +188,15 @@ def run_one(
     )
 
 
-def _run_payload(payload: "tuple[str, str, int, str | None]") -> dict:
+def _run_payload(payload: "tuple[str, str, int, str | None, str | None]") -> dict:
     """Worker-process entry: run one experiment, return its dict form.
 
     Results cross the process boundary as plain dicts (JSON-able) so the
     executor never pickles specs, tables, or numpy scalars.
     """
-    experiment_id, profile, seed, backend = payload
+    experiment_id, profile, seed, backend, runtime = payload
     return run_one(
-        experiment_id, profile=profile, seed=seed, backend=backend
+        experiment_id, profile=profile, seed=seed, backend=backend, runtime=runtime
     ).to_dict()
 
 
@@ -199,6 +206,7 @@ def run(
     profile: str = "quick",
     seed: int = 0,
     backend: "str | None" = None,
+    runtime: "str | None" = None,
     jobs: int = 1,
     tags: Iterable[str] | None = None,
     cache_dir: "str | Path | None" = None,
@@ -218,6 +226,11 @@ def run(
         Master seed handed to every experiment's context.
     backend:
         Simulation backend name (``None`` keeps the process default).
+    runtime:
+        CONGEST runtime name — ``"vectorized"`` or ``"reference"`` —
+        for the message-passing engines experiments drive (``None``
+        keeps the process default).  Runtimes are bit-identical per
+        seed, so like the backend this only changes speed.
     jobs:
         Worker processes; ``1`` runs serially in-process, ``N > 1`` fans
         experiments out over a :class:`ProcessPoolExecutor`.
@@ -240,6 +253,12 @@ def run(
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if runtime is not None:
+        # Validate eagerly so unknown names fail before anything runs
+        # (the CLI surfaces this one-line message verbatim).
+        from ..congest.runtime import resolve_runtime
+
+        resolve_runtime(runtime)
     selected = resolve_ids(ids, tags=tags)
 
     hits: dict[str, ExperimentResult] = {}
@@ -289,7 +308,7 @@ def run(
             on_result(result)
 
     if pending and jobs > 1:
-        payloads = [(x, profile, seed, backend) for x in pending]
+        payloads = [(x, profile, seed, backend, runtime) for x in pending]
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             fresh = pool.map(_run_payload, payloads)  # yields in order
             for experiment_id in selected:
@@ -309,6 +328,7 @@ def run(
                         profile=profile,
                         seed=seed,
                         backend=backend,
+                        runtime=runtime,
                         progress=progress,
                     ),
                 )

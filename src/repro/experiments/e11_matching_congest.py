@@ -10,6 +10,7 @@ from __future__ import annotations
 import math
 
 from ..algorithms import check_matching, run_matching_bc
+from ..congest.runtime import get_default_runtime
 from ..graphs import Topology, gnp_graph, random_regular_graph
 from ..rng import derive_rng
 from .context import RunContext
@@ -73,6 +74,10 @@ def run(ctx: RunContext) -> list[Table]:
             "4*log2(n)",
             "valid",
             "finished",
+        ],
+        notes=[
+            f"CONGEST runtime: {get_default_runtime()} "
+            "(bit-identical across runtimes; --runtime reference to cross-check)",
         ],
     )
     sizes = [16, 48] if ctx.quick else [16, 64, 256, 512]

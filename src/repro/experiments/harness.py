@@ -145,6 +145,17 @@ def _list_families() -> int:
     return 0
 
 
+def _list_workloads() -> int:
+    """Print the sweep workload registry (name, description); exit code 0."""
+    from ..sweeps import workloads
+
+    print("sweep workloads:")
+    for workload in workloads.WORKLOADS.values():
+        print(f"  {workload.name:<12}{workload.description}")
+    print('use in grid.toml: workloads = ["<name>", ...]')
+    return 0
+
+
 def sweep_main(argv: Sequence[str] | None = None) -> int:
     """The ``sweep`` subcommand: run a grid campaign from a TOML spec.
 
@@ -171,6 +182,11 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
         help="list the topology zoo and exit",
     )
     parser.add_argument(
+        "--list-workloads",
+        action="store_true",
+        help="list the sweep workloads and exit",
+    )
+    parser.add_argument(
         "--profile",
         default="quick",
         metavar="NAME",
@@ -183,6 +199,13 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="override the grid's backend axis (all backends are "
         "bit-identical; this axis measures speed only)",
+    )
+    parser.add_argument(
+        "--runtime",
+        default=None,
+        metavar="NAME",
+        help="CONGEST runtime for algorithm workloads: vectorized "
+        "(default) or reference; bit-identical per seed, speed only",
     )
     parser.add_argument(
         "--jobs",
@@ -221,8 +244,12 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
 
     if args.list_families:
         return _list_families()
+    if args.list_workloads:
+        return _list_workloads()
     if args.grid is None:
-        parser.error("--grid TOML is required (or --list-families)")
+        parser.error(
+            "--grid TOML is required (or --list-families / --list-workloads)"
+        )
 
     def note_progress(message: str) -> None:
         """Per-point completion/cache lines on stderr, data on stdout."""
@@ -233,6 +260,7 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
             args.grid,
             profile=args.profile,
             backend=args.backend,
+            runtime=args.runtime,
             jobs=args.jobs,
             cache_dir=args.cache,
             batch_replicas=not args.no_batch,
@@ -291,6 +319,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="simulation backend for beep-schedule execution; all choices "
         "are bit-identical (default: auto = pick by schedule size)",
+    )
+    parser.add_argument(
+        "--runtime",
+        default=None,
+        metavar="NAME",
+        help="CONGEST runtime for message-passing engines: vectorized "
+        "(default) or reference; bit-identical per seed, speed only",
     )
     parser.add_argument(
         "--jobs",
@@ -365,6 +400,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             profile=profile,
             seed=args.seed,
             backend=args.backend,
+            runtime=args.runtime,
             jobs=args.jobs,
             tags=tags,
             cache_dir=args.cache,

@@ -37,13 +37,18 @@ bit-identical across simulation backends.
 from .grid import GridPoint, GridSpec, load_grid
 from .engine import execute_batch, execute_point, run
 from .result import SweepResult
+from .workloads import Workload, WorkloadOutcome, get_workload, workload_names
 
 __all__ = [
     "GridPoint",
     "GridSpec",
     "SweepResult",
+    "Workload",
+    "WorkloadOutcome",
     "execute_batch",
     "execute_point",
+    "get_workload",
     "load_grid",
     "run",
+    "workload_names",
 ]

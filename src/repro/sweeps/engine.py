@@ -47,6 +47,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
+from ..congest.runtime import resolve_runtime
 from ..core.parameters import SimulationParameters
 from ..core.round_simulator import BatchedSession
 from ..engine import get_backend
@@ -58,6 +59,7 @@ from ..graphs import Topology, build_family_graph
 from ..rng import derive_rng, derive_seed, random_bits
 from .grid import GridPoint, GridSpec, load_grid
 from .result import POINT_FIELDS, SweepResult
+from .workloads import run_workload
 
 __all__ = ["run", "execute_point", "execute_batch"]
 
@@ -97,35 +99,17 @@ def _session_seed(point: GridPoint) -> int:
 def _point_result(
     point: GridPoint,
     profile: str,
-    topology: Topology,
-    params: SimulationParameters,
-    successes: int,
-    phase1_errors: int,
-    phase2_errors: int,
-    r_collisions: int,
+    measured: Mapping,
     elapsed: float,
 ) -> ExperimentResult:
-    """Assemble one point's structured result from its accumulated counters."""
+    """Assemble one point's structured result from its measured record.
+
+    ``measured`` maps every measured field (:data:`POINT_FIELDS` minus
+    the runner-attached ``elapsed``/``cached``); workload-inapplicable
+    columns hold ``None``.
+    """
     table = Table(title=_POINT_TABLE_TITLE, headers=list(_MEASURED_FIELDS))
-    table.add_row(
-        point.family,
-        point.params_label(),
-        point.n,
-        point.eps,
-        point.gamma,
-        point.backend,
-        point.seed,
-        topology.max_degree,
-        topology.num_edges,
-        params.message_bits,
-        params.rounds_per_simulated_round,
-        point.rounds,
-        successes,
-        successes / point.rounds,
-        phase1_errors,
-        phase2_errors,
-        r_collisions,
-    )
+    table.add_row(*(measured[name] for name in _MEASURED_FIELDS))
     return ExperimentResult(
         experiment_id=point.slug(),
         title=f"sweep point: {point.label()}",
@@ -134,41 +118,107 @@ def _point_result(
         backend=point.backend,
         elapsed=elapsed,
         tables=[table],
-        tags=("sweep", point.family),
+        tags=("sweep", point.family, point.workload),
     )
 
 
-def execute_point(point: GridPoint, profile: str = "quick") -> ExperimentResult:
+def _identity_columns(point: GridPoint, topology: Topology) -> dict:
+    """The record columns shared by every workload: axes and structure."""
+    return {
+        "family": point.family,
+        "params": point.params_label(),
+        "workload": point.workload,
+        "n": point.n,
+        "eps": point.eps,
+        "gamma": point.gamma,
+        "backend": point.backend,
+        "seed": point.seed,
+        "delta": topology.max_degree,
+        "edges": topology.num_edges,
+        "rounds": point.rounds,
+    }
+
+
+def _execute_workload_point(
+    point: GridPoint, profile: str, runtime: str
+) -> ExperimentResult:
+    """Run one algorithm-workload point: build the graph, run, check.
+
+    The algorithm executes on perfect channels through the selected
+    CONGEST runtime; its seed derives from ``(seed, workload, family,
+    n)`` — noise and gamma do not enter, because they do not affect a
+    native algorithm run.
+    """
+    topology = _point_topology(point)
+    started = time.perf_counter()
+    outcome = run_workload(
+        point.workload,
+        topology,
+        seed=derive_seed(
+            point.seed, "sweep-workload", point.workload, point.family, point.n
+        ),
+        runtime=runtime,
+    )
+    elapsed = time.perf_counter() - started
+    measured = _identity_columns(point, topology)
+    measured.update(
+        message_bits=outcome.message_bits,
+        beep_rounds_per_round=None,
+        successes=None,
+        success_rate=None,
+        phase1_node_errors=None,
+        phase2_node_errors=None,
+        r_collisions=None,
+        rounds_used=outcome.rounds_used,
+        messages_sent=outcome.messages_sent,
+        output_size=outcome.output_size,
+        valid=outcome.valid,
+    )
+    return _point_result(point, profile, measured, elapsed)
+
+
+def execute_point(
+    point: GridPoint, profile: str = "quick", runtime: "str | None" = None
+) -> ExperimentResult:
     """Simulate one grid point end to end and return its structured result.
 
-    Builds the validated zoo graph, sizes :class:`SimulationParameters`
-    from the realised ``Δ``, then drives ``point.rounds`` Broadcast
-    CONGEST rounds of uniformly random ``B``-bit messages (all nodes
-    transmit) through one amortised session.  Every stream — graph,
-    channel, per-round strings, messages — derives from ``(seed, family,
-    n, eps, gamma)``, deliberately excluding the backend so backends stay
-    comparable cell by cell.  Implemented as a batch of one, which the
+    For the ``broadcast`` workload: builds the validated zoo graph,
+    sizes :class:`SimulationParameters` from the realised ``Δ``, then
+    drives ``point.rounds`` Broadcast CONGEST rounds of uniformly random
+    ``B``-bit messages (all nodes transmit) through one amortised
+    session.  Every stream — graph, channel, per-round strings, messages
+    — derives from ``(seed, family, n, eps, gamma)``, deliberately
+    excluding the backend so backends stay comparable cell by cell.
+    Implemented as a batch of one, which the
     :class:`~repro.core.round_simulator.BatchedSession` contract makes
     bit-identical to the historical per-seed
     :class:`~repro.core.round_simulator.BroadcastSession` loop.
+
+    Algorithm workloads run the named algorithm on the same zoo graph
+    through the CONGEST runtime selected by ``runtime`` (default: the
+    process default; runtimes are bit-identical per seed).
     """
-    [result] = execute_batch([point], profile=profile)
+    [result] = execute_batch([point], profile=profile, runtime=runtime)
     return result
 
 
 def execute_batch(
-    points: "Sequence[GridPoint]", profile: str = "quick"
+    points: "Sequence[GridPoint]",
+    profile: str = "quick",
+    runtime: "str | None" = None,
 ) -> list[ExperimentResult]:
     """Simulate a group of same-cell points (differing only by seed) at once.
 
-    All points must share every axis except ``seed``.  Seeds whose
-    derived graphs realise the same topology run as one
-    :class:`~repro.core.round_simulator.BatchedSession` (replica-batched
-    backend calls); seeds with distinct graphs — randomised families —
-    fall back to singleton batches.  Results come back in input order and
-    are value-identical to ``[execute_point(p) for p in points]`` except
-    for wall-clock metadata (a batch's elapsed time is divided evenly
-    over its replicas).
+    All points must share every axis except ``seed``.  For the
+    ``broadcast`` workload, seeds whose derived graphs realise the same
+    topology run as one :class:`~repro.core.round_simulator.
+    BatchedSession` (replica-batched backend calls); seeds with distinct
+    graphs — randomised families — fall back to singleton batches.
+    Algorithm-workload points execute per seed through the CONGEST
+    runtime.  Results come back in input order and are value-identical
+    to ``[execute_point(p) for p in points]`` except for wall-clock
+    metadata (a batch's elapsed time is divided evenly over its
+    replicas).
     """
     if not points:
         return []
@@ -177,6 +227,7 @@ def execute_batch(
         if (
             point.family != first.family
             or point.params != first.params
+            or point.workload != first.workload
             or point.n != first.n
             or point.eps != first.eps
             or point.backend != first.backend
@@ -187,6 +238,12 @@ def execute_batch(
                 "execute_batch points must differ only by seed; got "
                 f"{point.label()} next to {first.label()}"
             )
+    if first.workload != "broadcast":
+        resolved = resolve_runtime(runtime)
+        return [
+            _execute_workload_point(point, profile, resolved)
+            for point in points
+        ]
     topologies = [_point_topology(point) for point in points]
 
     # Replica groups: identical realised adjacency (deterministic families
@@ -232,17 +289,22 @@ def execute_batch(
                 r_collisions[position] += 1 if outcome.r_collision else 0
         elapsed = (time.perf_counter() - started) / len(indices)
         for position, index in enumerate(indices):
-            results[index] = _point_result(
-                points[index],
-                profile,
-                topology,
-                params,
-                successes[position],
-                phase1_errors[position],
-                phase2_errors[position],
-                r_collisions[position],
-                elapsed,
+            point = points[index]
+            measured = _identity_columns(point, topology)
+            measured.update(
+                message_bits=params.message_bits,
+                beep_rounds_per_round=params.rounds_per_simulated_round,
+                successes=successes[position],
+                success_rate=successes[position] / point.rounds,
+                phase1_node_errors=phase1_errors[position],
+                phase2_node_errors=phase2_errors[position],
+                r_collisions=r_collisions[position],
+                rounds_used=point.rounds,
+                messages_sent=point.n * point.rounds,
+                output_size=None,
+                valid=None,
             )
+            results[index] = _point_result(point, profile, measured, elapsed)
     # Every input index is covered by exactly one fingerprint group, so
     # no slot can be left empty — fail loudly rather than ever letting a
     # coverage bug misalign results with their points.
@@ -251,10 +313,15 @@ def execute_batch(
     return results
 
 
-def _execute_payload(payload: "tuple[tuple[GridPoint, ...], str]") -> list[dict]:
+def _execute_payload(
+    payload: "tuple[tuple[GridPoint, ...], str, str | None]",
+) -> list[dict]:
     """Worker-process entry: run one batch group, return its dict forms."""
-    points, profile = payload
-    return [result.to_dict() for result in execute_batch(list(points), profile=profile)]
+    points, profile, runtime = payload
+    return [
+        result.to_dict()
+        for result in execute_batch(list(points), profile=profile, runtime=runtime)
+    ]
 
 
 def _point_record(point: GridPoint, result: ExperimentResult) -> dict:
@@ -290,6 +357,7 @@ def _cache_identity_matches(point: GridPoint, result: ExperimentResult) -> bool:
         return (
             record["family"] == point.family
             and record["params"] == point.params_label()
+            and record["workload"] == point.workload
             and record["n"] == point.n
             and record["eps"] == point.eps
             and record["gamma"] == point.gamma
@@ -347,6 +415,7 @@ def _batch_groups(
         key = (
             point.family,
             point.params,
+            point.workload,
             point.n,
             point.eps,
             point.backend,
@@ -370,6 +439,7 @@ def run(
     *,
     profile: str = "quick",
     backend: "str | None" = None,
+    runtime: "str | None" = None,
     jobs: int = 1,
     cache_dir: "str | Path | None" = None,
     batch_replicas: bool = True,
@@ -388,6 +458,10 @@ def run(
     backend:
         Override the grid's backend axis wholesale (the CLI
         ``--backend`` flag); ``None`` keeps the grid's own axis.
+    runtime:
+        CONGEST runtime for algorithm workloads (the CLI ``--runtime``
+        flag); ``None`` uses the process default.  Runtimes are
+        bit-identical per seed, so this only changes speed.
     jobs:
         Worker processes; ``1`` runs batch groups serially in-process.
     cache_dir:
@@ -406,6 +480,7 @@ def run(
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if backend is not None and backend != "auto":
         get_backend(backend)  # eager: fail before validation/probing work
+    runtime = resolve_runtime(runtime)  # eager: unknown names fail first
     spec = load_grid(grid)
     points = spec.expand(profile=profile, backend=backend)
 
@@ -446,7 +521,7 @@ def run(
     groups = _batch_groups(points, pending, batch_replicas, jobs=jobs)
     if pending and jobs > 1:
         payloads = [
-            (tuple(points[index] for index in group), profile)
+            (tuple(points[index] for index in group), profile, runtime)
             for group in groups
         ]
         with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as pool:
@@ -460,7 +535,7 @@ def run(
     else:
         for group in groups:
             group_results = execute_batch(
-                [points[index] for index in group], profile=profile
+                [points[index] for index in group], profile=profile, runtime=runtime
             )
             for index, result in zip(group, group_results):
                 finish(index, result)

@@ -28,12 +28,14 @@ from typing import Mapping, Sequence
 from ..engine import available_backends
 from ..errors import ConfigurationError
 from ..graphs import build_family_graph, get_family
+from .workloads import get_workload
 
 __all__ = ["GridPoint", "GridSpec", "load_grid"]
 
 #: Keys accepted in the ``[grid]`` table (or flat dict) of a spec.
 GRID_KEYS: tuple[str, ...] = (
     "topologies",
+    "workloads",
     "sizes",
     "noises",
     "backends",
@@ -81,6 +83,7 @@ class GridPoint:
     seed: int
     rounds: int
     gamma: int
+    workload: str = "broadcast"
 
     def params_label(self) -> str:
         """The resolved generator parameters as a stable ``k=v,...`` string.
@@ -105,8 +108,9 @@ class GridPoint:
         through :meth:`params_label`.
         """
         return (
-            f"{self.family}|{self.params_label()}|n={self.n}|"
-            f"eps={self.eps!r}|rounds={self.rounds}|gamma={self.gamma}"
+            f"{self.family}|{self.params_label()}|workload={self.workload}|"
+            f"n={self.n}|eps={self.eps!r}|rounds={self.rounds}|"
+            f"gamma={self.gamma}"
         )
 
     def slug(self) -> str:
@@ -122,6 +126,8 @@ class GridPoint:
         parts = [f"sweep-{self.family}"]
         if self.params_label():
             parts.append(self.params_label())
+        if self.workload != "broadcast":
+            parts.append(self.workload)
         parts.append(f"n{self.n}")
         parts.append(f"eps{self.eps!r}")
         parts.append(f"r{self.rounds}")
@@ -133,7 +139,7 @@ class GridPoint:
     def label(self) -> str:
         """Human-oriented one-line description for progress messages."""
         return (
-            f"{self.family} n={self.n} eps={self.eps:g} "
+            f"{self.family} {self.workload} n={self.n} eps={self.eps:g} "
             f"backend={self.backend} seed={self.seed}"
         )
 
@@ -146,6 +152,12 @@ class GridSpec:
     ----------
     topologies:
         Zoo family names (see :func:`repro.graphs.family_names`).
+    workloads:
+        What runs on each point (see :func:`repro.sweeps.workloads.
+        workload_names`): ``"broadcast"`` simulates noisy-beeps rounds,
+        the algorithm workloads (``"matching"``, ``"mis"``, ``"bfs"``,
+        ``"leader"``) run distributed algorithms on the zoo graph
+        through the CONGEST runtime and record workload metrics.
     sizes:
         Node counts ``n`` (each ``>= 2``); sizes a family cannot realise
         exactly (e.g. non-power-of-two hypercubes) are rejected at
@@ -173,6 +185,7 @@ class GridSpec:
     topologies: tuple[str, ...]
     sizes: tuple[int, ...]
     noises: tuple[float, ...]
+    workloads: tuple[str, ...] = ("broadcast",)
     backends: tuple[str, ...] = ("auto",)
     seeds: tuple[int, ...] = (0,)
     rounds: int = 2
@@ -183,7 +196,7 @@ class GridSpec:
     def __post_init__(self) -> None:
         """Normalise sequence fields and validate every axis eagerly."""
         coerce = object.__setattr__  # frozen dataclass
-        for name in ("topologies", "sizes", "noises", "backends", "seeds"):
+        for name in ("topologies", "workloads", "sizes", "noises", "backends", "seeds"):
             value = getattr(self, name)
             if isinstance(value, (str, bytes)) or not isinstance(
                 value, Sequence
@@ -201,6 +214,12 @@ class GridSpec:
                     f"grid topologies entries must be strings, got {family!r}"
                 )
             get_family(family)  # raises listing the known families
+        for workload in self.workloads:
+            if not isinstance(workload, str):
+                raise _one_line(
+                    f"grid workloads entries must be strings, got {workload!r}"
+                )
+            get_workload(workload)  # raises listing the known workloads
         coerce(
             self,
             "sizes",
@@ -283,10 +302,10 @@ class GridSpec:
     ) -> tuple[GridPoint, ...]:
         """Multiply the axes into concrete :class:`GridPoint` objects.
 
-        Order is deterministic: family, then size, then noise, then
-        backend, then seed (the long-form row order of the results).
-        ``backend`` overrides the grid's backend axis wholesale — the
-        CLI's ``--backend`` flag.
+        Order is deterministic: family, then workload, then size, then
+        noise, then backend, then seed (the long-form row order of the
+        results).  ``backend`` overrides the grid's backend axis
+        wholesale — the CLI's ``--backend`` flag.
         """
         backends = (backend,) if backend is not None else self.backends
         rounds = self.effective_rounds(profile)
@@ -296,28 +315,31 @@ class GridSpec:
                 self.params.get(family)
             )
             family_params = tuple(sorted(resolved.items()))
-            for n in self.sizes:
-                for eps in self.noises:
-                    for chosen_backend in backends:
-                        for seed in self.seeds:
-                            points.append(
-                                GridPoint(
-                                    family=family,
-                                    params=family_params,
-                                    n=n,
-                                    eps=eps,
-                                    backend=chosen_backend,
-                                    seed=seed,
-                                    rounds=rounds,
-                                    gamma=self.gamma,
+            for workload in self.workloads:
+                for n in self.sizes:
+                    for eps in self.noises:
+                        for chosen_backend in backends:
+                            for seed in self.seeds:
+                                points.append(
+                                    GridPoint(
+                                        family=family,
+                                        params=family_params,
+                                        n=n,
+                                        eps=eps,
+                                        backend=chosen_backend,
+                                        seed=seed,
+                                        rounds=rounds,
+                                        gamma=self.gamma,
+                                        workload=workload,
+                                    )
                                 )
-                            )
         return tuple(points)
 
     def to_dict(self) -> dict:
         """JSON/TOML-able dict form (the ``[grid]`` + ``[params]`` shape)."""
         grid: dict = {
             "topologies": list(self.topologies),
+            "workloads": list(self.workloads),
             "sizes": list(self.sizes),
             "noises": list(self.noises),
             "backends": list(self.backends),

@@ -31,12 +31,17 @@ __all__ = ["SWEEP_SCHEMA_VERSION", "POINT_FIELDS", "CELL_KEY", "SweepResult"]
 
 #: Bump when the serialized sweep layout changes incompatibly.
 #: Version 2 added the ``gamma`` identity column to the point records.
-SWEEP_SCHEMA_VERSION = 2
+#: Version 3 added the ``workload`` axis plus the workload metric
+#: columns (``rounds_used``, ``messages_sent``, ``output_size``,
+#: ``valid``); columns that do not apply to a point's workload hold
+#: ``None`` (JSON ``null``, empty CSV cell).
+SWEEP_SCHEMA_VERSION = 3
 
 #: Column order of the long-form per-point records.
 POINT_FIELDS: tuple[str, ...] = (
     "family",
     "params",
+    "workload",
     "n",
     "eps",
     "gamma",
@@ -52,25 +57,38 @@ POINT_FIELDS: tuple[str, ...] = (
     "phase1_node_errors",
     "phase2_node_errors",
     "r_collisions",
+    "rounds_used",
+    "messages_sent",
+    "output_size",
+    "valid",
     "elapsed",
     "cached",
 )
 
 #: The axes a cell aggregates over seeds within.
-CELL_KEY: tuple[str, ...] = ("family", "params", "n", "eps", "backend")
+CELL_KEY: tuple[str, ...] = ("family", "params", "workload", "n", "eps", "backend")
 
 #: Per-point quantities summarised into each cell (besides success_rate).
+#: Workload-specific columns are ``None`` where they do not apply and
+#: aggregate over the points that carry them (``None`` when none do).
 _CELL_MEANS: tuple[str, ...] = (
     "delta",
     "edges",
     "beep_rounds_per_round",
     "phase1_node_errors",
     "phase2_node_errors",
+    "rounds_used",
+    "messages_sent",
+    "output_size",
+    "valid",
 )
 
 
-def _mean(values: list) -> float:
-    return sum(values) / len(values)
+def _mean(values: list) -> "float | None":
+    present = [value for value in values if value is not None]
+    if not present:
+        return None
+    return sum(present) / len(present)
 
 
 @dataclass
@@ -122,16 +140,28 @@ class SweepResult:
             ).append(record)
         cells = []
         for key, members in groups.items():
-            rates = [member["success_rate"] for member in members]
-            mean = _mean(rates)
+            rates = [
+                member["success_rate"]
+                for member in members
+                if member["success_rate"] is not None
+            ]
             cell = dict(zip(CELL_KEY, key))
             cell["seeds"] = len(members)
-            cell["success_mean"] = mean
-            cell["success_std"] = math.sqrt(
-                _mean([(rate - mean) ** 2 for rate in rates])
-            )
-            cell["success_min"] = min(rates)
-            cell["success_max"] = max(rates)
+            if rates:
+                mean = _mean(rates)
+                cell["success_mean"] = mean
+                cell["success_std"] = math.sqrt(
+                    _mean([(rate - mean) ** 2 for rate in rates])
+                )
+                cell["success_min"] = min(rates)
+                cell["success_max"] = max(rates)
+            else:
+                # Algorithm workloads carry no decode statistics; the
+                # cell keeps the schema with null success columns.
+                cell["success_mean"] = None
+                cell["success_std"] = None
+                cell["success_min"] = None
+                cell["success_max"] = None
             for column in _CELL_MEANS:
                 cell[f"{column}_mean"] = _mean(
                     [member[column] for member in members]

@@ -56,6 +56,54 @@ class _TooBig(BroadcastCongestAlgorithm):
         pass
 
 
+class _FinishAfterRounds(BroadcastCongestAlgorithm):
+    """Broadcasts every round until a per-node deadline, then finishes.
+
+    Tracks every engine interaction so the live-node accounting can be
+    checked for behaviour-identity: once a node reports finished, the
+    engine must never call ``broadcast``/``receive`` on it again, and
+    silent-but-alive nodes must keep receiving.
+    """
+
+    def __init__(self, deadline: int):
+        self._deadline = deadline
+        self.broadcast_rounds: list[int] = []
+        self.receive_rounds: list[int] = []
+        self._observed = 0
+
+    def broadcast(self, round_index):
+        self.broadcast_rounds.append(round_index)
+        return self.ctx.node_id
+
+    def receive(self, round_index, messages):
+        self.receive_rounds.append(round_index)
+        self._observed += 1
+
+    @property
+    def finished(self):
+        return self._observed >= self._deadline
+
+    def output(self):
+        return (self.broadcast_rounds, self.receive_rounds)
+
+
+class _BornFinished(BroadcastCongestAlgorithm):
+    """Finished before round 0 — must never be driven at all."""
+
+    calls = 0
+
+    def broadcast(self, round_index):
+        type(self).calls += 1
+        return None
+
+    def receive(self, round_index, messages):
+        type(self).calls += 1
+
+    @property
+    def finished(self):
+        return True
+
+
 class TestBroadcastCongest:
     def test_neighbors_receive_unattributed_multiset(self):
         t = Topology(star_graph(4))
@@ -125,6 +173,75 @@ class TestBroadcastCongest:
         assert captured[0].max_degree == 3
         assert captured[0].num_nodes == 4
         assert captured[0].neighbor_ids is None  # BC: must be learned
+
+
+class TestLiveNodeAccounting:
+    """The live-count round loop must stay behaviour-identical.
+
+    Regression for the transition-tracked termination check: staggered
+    finishing must stop the run at the right round, finished nodes must
+    never be driven again, and born-finished nodes must be invisible.
+    """
+
+    def test_staggered_finish_drives_exactly_like_spec(self):
+        t = Topology(path_graph(3))
+        algorithms = [_FinishAfterRounds(d) for d in (1, 3, 2)]
+        result = BroadcastCongestNetwork(t, message_bits=4).run(
+            algorithms, max_rounds=10
+        )
+        assert result.finished
+        # the slowest node needs 3 receives, so exactly 3 rounds run
+        assert result.rounds_used == 3
+        # node 0 finished after round 0: broadcast/receive only there
+        assert algorithms[0].output() == ([0], [0])
+        assert algorithms[1].output() == ([0, 1, 2], [0, 1, 2])
+        assert algorithms[2].output() == ([0, 1], [0, 1])
+        # messages: 3 + 2 + 1 broadcasts across the three rounds
+        assert result.messages_sent == 6
+
+    def test_born_finished_nodes_never_driven(self):
+        t = Topology(path_graph(2))
+        _BornFinished.calls = 0
+        result = BroadcastCongestNetwork(t).run(
+            [_BornFinished(), _BornFinished()], max_rounds=5
+        )
+        assert result.finished
+        assert result.rounds_used == 0
+        assert _BornFinished.calls == 0
+
+    def test_silent_but_alive_nodes_keep_receiving(self):
+        t = Topology(path_graph(3))
+        silent = _SilentForever()
+        result = BroadcastCongestNetwork(t).run(
+            [silent, _SilentForever(), _SilentForever()], max_rounds=4
+        )
+        assert not result.finished
+        assert result.rounds_used == 4
+
+    def test_congest_engine_staggered_finish(self):
+        class FinishAfterSends(CongestAlgorithm):
+            def __init__(self, deadline):
+                self._deadline = deadline
+                self._observed = 0
+                self.sends = 0
+
+            def send(self, round_index):
+                self.sends += 1
+                return {}
+
+            def receive(self, round_index, messages):
+                self._observed += 1
+
+            @property
+            def finished(self):
+                return self._observed >= self._deadline
+
+        t = Topology(path_graph(3))
+        algorithms = [FinishAfterSends(d) for d in (1, 2, 3)]
+        result = CongestNetwork(t).run(algorithms, max_rounds=10)
+        assert result.finished
+        assert result.rounds_used == 3
+        assert [a.sends for a in algorithms] == [1, 2, 3]
 
 
 class _SendToAll(CongestAlgorithm):

@@ -56,6 +56,49 @@ class TestBackendFlag:
             main(["e01", "--backend", "quantum"])
 
 
+class TestRuntimeFlag:
+    def test_runtime_flag_accepted(self, capsys):
+        assert main(["e11", "--runtime", "reference"]) == 0
+        assert "E11a" in capsys.readouterr().out
+
+    def test_runtime_restored_after_run(self):
+        from repro.congest import get_default_runtime
+
+        before = get_default_runtime()
+        assert main(["e11", "--runtime", "reference"]) == 0
+        assert get_default_runtime() == before
+
+    def test_runtime_is_results_neutral(self, capsys):
+        assert main(["e11", "--runtime", "reference", "--format", "json"]) == 0
+        reference = json.loads(capsys.readouterr().out)
+        assert main(["e11", "--runtime", "vectorized", "--format", "json"]) == 0
+        vectorized = json.loads(capsys.readouterr().out)
+
+        def rows(results):
+            # notes record which runtime ran; the *numbers* must agree
+            return [
+                [table["rows"] for table in result["tables"]]
+                for result in results
+            ]
+
+        assert rows(reference) == rows(vectorized)
+
+    def test_unknown_runtime_exits_2_one_line(self, capsys):
+        assert main(["e11", "--runtime", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line diagnostic, no traceback
+        assert "unknown runtime 'bogus'" in err
+        assert "vectorized" in err and "reference" in err
+
+    def test_sweep_unknown_runtime_exits_2_one_line(self, tmp_path, capsys):
+        grid = tmp_path / "grid.toml"
+        grid.write_text(GRID_TOML)
+        assert main(["sweep", "--grid", str(grid), "--runtime", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown runtime 'bogus'" in err
+
+
 class TestHarnessCLI:
     def test_no_args_lists_experiments(self, capsys):
         assert main([]) == 0

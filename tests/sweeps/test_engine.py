@@ -75,7 +75,7 @@ class TestEndToEnd:
             progress=messages.append,
         )
         assert len(messages) == 4  # 1 family x 2 sizes x 2 noises x 1 seed
-        assert all("cycle n=" in message for message in messages)
+        assert all("cycle broadcast n=" in message for message in messages)
 
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -136,7 +136,7 @@ class TestExecutePoint:
         [point] = grid.expand()
         result = execute_point(point, profile="smoke")
         assert result.profile == "smoke"
-        assert result.tags == ("sweep", "torus")
+        assert result.tags == ("sweep", "torus", "broadcast")
         assert result.experiment_id == point.slug()
         assert result.elapsed > 0
 

@@ -1,0 +1,90 @@
+"""NodeStreams must be bit-identical to the reference per-node streams.
+
+The vectorized runtime's whole bit-identity promise rests on
+:class:`repro.rng_philox.NodeStreams` reproducing, draw by draw, what
+the reference engine gets from ``random_bits(derive_rng(seed,
+"node-local", v), bits)`` — including numpy's ``Generator.bytes``
+consumption semantics (whole 32-bit words, truncation discards).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import derive_rng, random_bits
+from repro.rng_philox import NodeStreams, words_for_bits
+
+
+def as_int(words: np.ndarray) -> int:
+    return sum(int(word) << (64 * j) for j, word in enumerate(words))
+
+
+class TestDrawEquality:
+    @pytest.mark.parametrize(
+        "bits", [1, 5, 8, 13, 20, 31, 32, 40, 52, 63, 64, 65, 90, 128, 130, 200]
+    )
+    def test_matches_reference_streams_across_widths(self, bits):
+        seed, count = 1234, 7
+        streams = NodeStreams(seed, count, "node-local")
+        rngs = [derive_rng(seed, "node-local", v) for v in range(count)]
+        patterns = [
+            [0, 0, 0, 2, 5, 5, 6],
+            [1, 2, 2, 2, 5],
+            [0, 3, 4, 5, 6, 6, 6, 6],
+        ]
+        for pattern in patterns:
+            drawn = streams.draw(np.array(pattern), bits)
+            assert drawn.shape == (len(pattern), words_for_bits(bits))
+            expected = [random_bits(rngs[v], bits) for v in pattern]
+            assert [as_int(row) for row in drawn] == expected
+
+    def test_interleaved_widths_share_one_stream(self):
+        # The reference consumes one byte stream per node regardless of
+        # the width of each draw; NodeStreams must track it identically.
+        seed = 9
+        streams = NodeStreams(seed, 3, "node-local")
+        rng = derive_rng(seed, "node-local", 1)
+        for bits in (20, 90, 7, 64, 130):
+            [drawn] = streams.draw(np.array([1]), bits)
+            assert as_int(np.atleast_1d(drawn)) == random_bits(rng, bits)
+
+    def test_truncation_burns_whole_words(self):
+        # bytes(3) consumes 4 bytes of stream: two 20-bit draws must not
+        # equal the first 40 bits of one contiguous byte read.
+        seed = 4
+        streams = NodeStreams(seed, 1, "node-local")
+        first = as_int(streams.draw(np.array([0]), 20)[0])
+        second = as_int(streams.draw(np.array([0]), 20)[0])
+        rng = derive_rng(seed, "node-local", 0)
+        assert first == random_bits(rng, 20)
+        assert second == random_bits(rng, 20)
+
+    def test_context_selects_distinct_streams(self):
+        a = NodeStreams(0, 2, "node-local")
+        b = NodeStreams(0, 2, "other-context")
+        assert not np.array_equal(
+            a.draw(np.array([0]), 64), b.draw(np.array([0]), 64)
+        )
+
+    def test_instances_do_not_share_positions(self):
+        # The key cache is shared; the stream positions must not be.
+        a = NodeStreams(3, 2, "node-local")
+        b = NodeStreams(3, 2, "node-local")
+        first_a = a.draw(np.array([0]), 64)
+        assert np.array_equal(b.draw(np.array([0]), 64), first_a)
+
+    def test_unsorted_nodes_rejected(self):
+        streams = NodeStreams(0, 3, "node-local")
+        with pytest.raises(ValueError):
+            streams.draw(np.array([2, 0]), 8)
+
+    def test_empty_draw(self):
+        streams = NodeStreams(0, 3, "node-local")
+        assert streams.draw(np.array([], dtype=np.int64), 90).shape == (0, 2)
+
+    def test_words_for_bits_validates(self):
+        with pytest.raises(ValueError):
+            words_for_bits(0)
+        assert words_for_bits(64) == 1
+        assert words_for_bits(65) == 2

@@ -39,7 +39,24 @@ MODULES: tuple[str, ...] = (
     "repro.sweeps.grid",
     "repro.sweeps.engine",
     "repro.sweeps.result",
+    "repro.sweeps.workloads",
     "repro.graphs.generators",
+    "repro.congest.algorithm",
+    "repro.congest.context",
+    "repro.congest.model",
+    "repro.congest.network",
+    "repro.congest.runtime",
+    "repro.congest.vectorized",
+    "repro.algorithms.maximal_matching",
+    "repro.algorithms.luby_mis",
+    "repro.algorithms.coloring",
+    "repro.algorithms.bfs",
+    "repro.algorithms.leader_election",
+    "repro.algorithms.verification",
+    "repro.algorithms.vectorized_matching",
+    "repro.algorithms.vectorized_mis",
+    "repro.algorithms.vectorized_basic",
+    "repro.rng_philox",
 )
 
 #: Shorter than this (after stripping) does not count as documentation.
