@@ -29,13 +29,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import statistics
 import sys
 import time
 
 import numpy as np
 
+from conftest import host_metadata
 from repro.core.parameters import SimulationParameters
 from repro.core.round_simulator import BatchedSession, BroadcastSession
 from repro.engine import get_backend
@@ -226,11 +226,7 @@ def main(argv=None) -> int:
             "quick": args.quick,
             "beep_rounds_per_phase": params.beep_code_length,
         },
-        "platform": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "numpy": np.__version__,
-        },
+        "platform": host_metadata(),
         "per_seed": {
             "elapsed_s": loop_s,
             "median_s": loop_median,

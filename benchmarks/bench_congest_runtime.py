@@ -27,13 +27,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import statistics
 import sys
 import time
 
 import numpy as np
 
+from conftest import host_metadata
 from repro.algorithms import run_matching_bc, run_mis_bc
 from repro.graphs import Topology, build_family_graph
 from repro.rng import derive_seed
@@ -163,11 +163,7 @@ def main(argv=None) -> int:
             "repeats": repeats,
             "quick": args.quick,
         },
-        "platform": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "numpy": np.__version__,
-        },
+        "platform": host_metadata(),
         "workloads": sections,
         "headline": {
             "workload": "maximal_matching",

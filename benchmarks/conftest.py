@@ -3,11 +3,40 @@
 Each ``bench_eXX`` module regenerates one experiment from DESIGN.md §3 via
 pytest-benchmark and prints its tables (run with ``-s`` to see them
 inline; they are also what ``python -m repro.experiments`` prints).
+
+The standalone ``BENCH_*.json``-writing scripts additionally share
+:func:`host_metadata`, so every benchmark document carries the same
+host-provenance block (CPU count, library versions, platform) and
+numbers from different machines are never compared blind.
 """
 
 from __future__ import annotations
 
+import os
+import platform
+
 from repro.experiments import Table
+
+
+def host_metadata() -> dict:
+    """The host-provenance block embedded in every ``BENCH_*.json``.
+
+    Benchmark numbers are only comparable with their execution context:
+    CPU count bounds multi-process speedups, and library versions move
+    kernel throughput between runs of the *same* code.
+    """
+    import numpy as np
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "release": platform.release(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+    }
 
 
 def run_and_print(benchmark, runner, quick: bool = True, seed: int = 0) -> list[Table]:

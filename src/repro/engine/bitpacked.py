@@ -14,7 +14,9 @@ For the per-round :meth:`neighbor_or` primitive the backend uses the
 topology's row-bitmap adjacency (:attr:`~repro.graphs.Topology.
 packed_adjacency`): node ``v`` hears a beep iff ``adjacency_words[v] &
 beep_words`` is non-zero anywhere, which beats the CSR matvec on dense
-neighbourhoods.
+neighbourhoods.  On sparse graphs the bitmap's ``Theta(n^2 / 8)`` bytes
+are never materialised — the vector runs through the same segmented CSR
+reduction as schedules, one packed column wide (bit-identical).
 
 The replica-batched entry point generalises the packed schedule with a
 replica axis: ``R`` replicas stack into one ``(R * n, words)`` word
@@ -36,7 +38,7 @@ from .base import (
     validate_schedule,
     validate_schedule_batch,
 )
-from .packing import pack_rows, pack_vector, unpack_rows
+from .packing import WORD_BITS, pack_rows, pack_vector, unpack_rows
 
 __all__ = ["BitpackedBackend"]
 
@@ -206,6 +208,18 @@ class BitpackedBackend(SimulationBackend):
                 f"beep vector has {beeps.shape[0]} rows, expected "
                 f"{topology.num_nodes}"
             )
-        words = pack_vector(beeps)
-        hits = topology.packed_adjacency & words[np.newaxis, :]
-        return hits.any(axis=1)
+        n = topology.num_nodes
+        # The row-bitmap AND is only worth its Theta(n^2 / 8) bytes on
+        # dense neighbourhoods (same bar as the "auto" heuristic); on a
+        # sparse million-node zoo graph materialising it would dwarf the
+        # graph itself, so reuse it only if it already exists and fall
+        # back to the one-column segmented CSR path (bit-identical).
+        if (
+            "packed_adjacency" in topology.__dict__
+            or 2 * topology.num_edges * WORD_BITS >= n * n
+        ):
+            words = pack_vector(beeps)
+            hits = topology.packed_adjacency & words[np.newaxis, :]
+            return hits.any(axis=1)
+        packed = pack_rows(beeps[:, np.newaxis])
+        return unpack_rows(self.neighbor_or_words(topology, packed), 1)[:, 0]

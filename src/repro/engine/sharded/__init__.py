@@ -1,0 +1,34 @@
+"""Sharded multi-process execution tier.
+
+Splits a topology across ``P`` worker processes with deterministic hash
+ownership (:mod:`~repro.engine.sharded.partition`), runs the carrier-
+sense kernels shard-locally (:mod:`~repro.engine.sharded.shard`), and
+coordinates chunked boundary exchange over pipes
+(:mod:`~repro.engine.sharded.coordinator`).  The public entry point is
+:class:`ShardedBackend`, a drop-in
+:class:`~repro.engine.base.SimulationBackend` that is bit-identical to
+the single-process engine for every ``P``.
+"""
+
+from __future__ import annotations
+
+from .coordinator import CHUNK_BYTES, ShardedBackend
+from .partition import (
+    RankShard,
+    ShardPlan,
+    build_shard_plan,
+    edge_ids,
+    hash64,
+    owner_of,
+)
+
+__all__ = [
+    "ShardedBackend",
+    "ShardPlan",
+    "RankShard",
+    "build_shard_plan",
+    "hash64",
+    "owner_of",
+    "edge_ids",
+    "CHUNK_BYTES",
+]

@@ -1,0 +1,319 @@
+"""Deterministic hash partitioning of a topology into CSR shards.
+
+The sharded tier carves a :class:`~repro.graphs.Topology` across ``P``
+ranks with *stable, process-independent* hashing (never Python's salted
+``hash()``):
+
+* **vertex ownership** — ``owner(v) = hash64(v, "owner") % P``: a pure
+  function of the node id, so every process (and every run) agrees on
+  the placement without communication;
+* **symmetric edge ids** — ``eid(u, v) = hash64(min(u, v), max(u, v),
+  "eid")``: both endpoints compute the *same* 64-bit id, which is what
+  makes cross-rank edge addressing (and the boundary-fingerprint
+  integrity check) possible.  If edge ids were not symmetric, the two
+  owners of a boundary edge would disagree about its identity and every
+  cross-rank aggregation built on it would silently corrupt.
+
+:func:`build_shard_plan` materialises one :class:`RankShard` per rank: a
+CSR matrix over the rank's **local rows** (the nodes it owns, ascending
+by global id) whose columns index the stacked ``[local | halo]`` node
+space — the halo being the compact, sorted set of boundary neighbours
+owned elsewhere — plus the exchange plan (which local rows each peer
+needs, and where each peer's rows land in the halo).  Both sides of
+every exchange order rows by ascending global id, so the wire format
+needs no per-row addressing.
+
+Each rank pair additionally carries a **boundary fingerprint**: the XOR
+of the symmetric edge ids crossing between the two ranks.  Because
+``eid`` is symmetric, rank ``r``'s fingerprint towards ``s`` must equal
+``s``'s towards ``r`` — :func:`build_shard_plan` verifies this at build
+time, turning any asymmetry bug into an immediate
+:class:`~repro.errors.SimulationError` instead of corrupted exchanges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from ...errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ...graphs import Topology
+
+__all__ = [
+    "hash64",
+    "owner_of",
+    "edge_ids",
+    "RankShard",
+    "ShardPlan",
+    "build_shard_plan",
+]
+
+# splitmix64 finalizer constants (Steele/Lea/Flood) — the standard
+# public-domain 64-bit mixer; chosen for avalanche quality and because
+# it vectorises to three multiplies and shifts.
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _salt64(salt: str) -> np.uint64:
+    """A stable 64-bit constant derived from a salt string (SHA-256)."""
+    digest = hashlib.sha256(salt.encode("utf-8")).digest()
+    return np.uint64(int.from_bytes(digest[:8], "little"))
+
+
+def _mix(words: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer over a ``uint64`` array (wraps mod 2^64)."""
+    words = (words ^ (words >> np.uint64(30))) * _MIX1
+    words = (words ^ (words >> np.uint64(27))) * _MIX2
+    return words ^ (words >> np.uint64(31))
+
+
+def hash64(values, salt: str = "") -> np.ndarray:
+    """Deterministic 64-bit hash of integer ``values`` under a salt.
+
+    Stable across processes, platforms, and Python versions (unlike the
+    built-in ``hash()``, whose salt changes per interpreter).  ``values``
+    may be a scalar or any integer array; the result is a same-shaped
+    ``uint64`` array (0-d for scalars).
+    """
+    raw = np.asarray(values)
+    mixed = _mix((np.atleast_1d(raw).astype(np.uint64) + _GOLDEN) ^ _salt64(salt))
+    return mixed.reshape(raw.shape)
+
+
+def owner_of(nodes, shards: int) -> np.ndarray:
+    """The owning rank of each node: ``hash64(v, "owner") % shards``.
+
+    A pure function of ``(node, shards)`` — deterministic placement with
+    no directory service.  Returns an ``int64`` array of ranks in
+    ``[0, shards)``.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    return (hash64(nodes, "owner") % np.uint64(shards)).astype(np.int64)
+
+
+def edge_ids(u, v) -> np.ndarray:
+    """Symmetric global edge ids: ``eid(u, v) == eid(v, u)``.
+
+    Computed as ``hash64`` over the *sorted* endpoint pair, so both
+    owners of a boundary edge derive the identical 64-bit id — the
+    invariant all cross-rank edge addressing rests on.
+    """
+    shape = np.broadcast_shapes(np.shape(np.asarray(u)), np.shape(np.asarray(v)))
+    u = np.atleast_1d(np.asarray(u)).astype(np.uint64)
+    v = np.atleast_1d(np.asarray(v)).astype(np.uint64)
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    return _mix(_mix((lo + _GOLDEN) ^ _salt64("eid")) + hi * _GOLDEN).reshape(shape)
+
+
+@dataclass(frozen=True)
+class RankShard:
+    """One rank's slice of the partitioned topology.
+
+    Attributes
+    ----------
+    rank, shards:
+        This shard's rank and the total rank count.
+    num_nodes:
+        The *global* node count ``n`` (needed to key noise streams).
+    local_nodes:
+        Global ids owned by this rank, ascending.  Row ``i`` of the
+        shard CSR is node ``local_nodes[i]``.
+    halo_nodes:
+        Global ids of boundary neighbours owned elsewhere, ascending.
+        Column index ``len(local_nodes) + j`` refers to
+        ``halo_nodes[j]``.
+    indptr, indices:
+        The shard CSR over rows = local nodes, columns = the stacked
+        ``[local | halo]`` space.
+    send_rows:
+        Per destination rank, the *local row* indices whose schedule
+        rows that rank needs (its halo members owned here), ascending by
+        global id.
+    recv_slots:
+        Per source rank, the halo positions where its incoming rows land
+        (ascending by global id — the matching order to ``send_rows`` on
+        the sending side).
+    boundary_fingerprints:
+        Per peer rank, the XOR of the symmetric edge ids crossing to it
+        (0 for no boundary edges) — verified equal on both sides at plan
+        build.
+    """
+
+    rank: int
+    shards: int
+    num_nodes: int
+    local_nodes: np.ndarray
+    halo_nodes: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+    send_rows: Mapping[int, np.ndarray]
+    recv_slots: Mapping[int, np.ndarray]
+    boundary_fingerprints: Mapping[int, int]
+
+    @property
+    def num_local(self) -> int:
+        """Number of nodes this rank owns (its CSR row count)."""
+        return int(self.local_nodes.shape[0])
+
+    @property
+    def num_halo(self) -> int:
+        """Number of halo (boundary-neighbour) columns."""
+        return int(self.halo_nodes.shape[0])
+
+    def payload(self) -> dict:
+        """The picklable dict shipped to the worker process."""
+        return {
+            "rank": self.rank,
+            "shards": self.shards,
+            "num_nodes": self.num_nodes,
+            "local_nodes": self.local_nodes,
+            "halo_nodes": self.halo_nodes,
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "send_rows": dict(self.send_rows),
+            "recv_slots": dict(self.recv_slots),
+        }
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full ``P``-way partition of one topology.
+
+    ``owner[v]`` is the rank owning node ``v``; ``ranks[r]`` the
+    per-rank :class:`RankShard`.  The plan is immutable and cached on
+    the topology (see :meth:`repro.graphs.Topology.shard_plan`), so
+    repeated sharded executions over one topology build it once.
+    """
+
+    shards: int
+    num_nodes: int
+    owner: np.ndarray
+    ranks: tuple[RankShard, ...]
+
+
+def _csr_row_subset(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract ``rows`` of a CSR as (new_indptr, concatenated columns)."""
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    new_indptr = np.concatenate(
+        ([0], np.cumsum(counts, dtype=np.int64))
+    )
+    total = int(new_indptr[-1])
+    if total == 0:
+        return new_indptr, np.zeros(0, dtype=np.int64)
+    gather = (
+        np.repeat(starts - new_indptr[:-1], counts)
+        + np.arange(total, dtype=np.int64)
+    )
+    return new_indptr, indices[gather].astype(np.int64)
+
+
+def build_shard_plan(topology: "Topology", shards: int) -> ShardPlan:
+    """Partition ``topology`` into ``shards`` hash-owned CSR shards.
+
+    Ownership is :func:`owner_of` (deterministic, disjoint, covering);
+    every rank — including empty ones when ``shards > n`` — gets a
+    :class:`RankShard`.  Cross-rank boundary fingerprints (XOR of
+    symmetric :func:`edge_ids`) are verified pairwise before the plan is
+    returned.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    n = topology.num_nodes
+    adjacency = topology.adjacency
+    indptr = adjacency.indptr.astype(np.int64)
+    indices = adjacency.indices.astype(np.int64)
+    owner = owner_of(np.arange(n, dtype=np.int64), shards)
+
+    locals_per_rank = [
+        np.flatnonzero(owner == rank).astype(np.int64) for rank in range(shards)
+    ]
+    shard_rows: list[tuple[np.ndarray, np.ndarray]] = []
+    halos: list[np.ndarray] = []
+    fingerprints: list[dict[int, int]] = []
+    for rank in range(shards):
+        local = locals_per_rank[rank]
+        row_indptr, cols = _csr_row_subset(indptr, indices, local)
+        foreign = cols[owner[cols] != rank] if cols.size else cols
+        halo = np.unique(foreign)
+        # Remap global column ids into the stacked [local | halo] space.
+        lookup = np.full(n, -1, dtype=np.int64)
+        lookup[local] = np.arange(local.size, dtype=np.int64)
+        lookup[halo] = local.size + np.arange(halo.size, dtype=np.int64)
+        shard_rows.append((row_indptr, lookup[cols]))
+        halos.append(halo)
+        # Boundary fingerprint per peer: XOR of symmetric edge ids over
+        # the directed cross edges (u local, v foreign).  Symmetry of
+        # edge_ids makes the figure identical from both sides.
+        rows_global = np.repeat(local, np.diff(row_indptr))
+        prints: dict[int, int] = {}
+        if foreign.size:
+            cross = owner[cols] != rank
+            cross_u = rows_global[cross]
+            cross_v = cols[cross]
+            cross_eids = edge_ids(cross_u, cross_v)
+            cross_owner = owner[cross_v]
+            for peer in np.unique(cross_owner):
+                prints[int(peer)] = int(
+                    np.bitwise_xor.reduce(cross_eids[cross_owner == peer])
+                )
+        fingerprints.append(prints)
+
+    for rank in range(shards):
+        for peer, fingerprint in fingerprints[rank].items():
+            if fingerprints[peer].get(rank) != fingerprint:
+                raise SimulationError(
+                    "asymmetric boundary fingerprint between ranks "
+                    f"{rank} and {peer} — edge-id symmetry violated"
+                )
+
+    ranks = []
+    for rank in range(shards):
+        local = locals_per_rank[rank]
+        halo = halos[rank]
+        halo_owner = owner[halo] if halo.size else halo
+        send_rows: dict[int, np.ndarray] = {}
+        recv_slots: dict[int, np.ndarray] = {}
+        for peer in range(shards):
+            if peer == rank:
+                continue
+            slots = (
+                np.flatnonzero(halo_owner == peer) if halo.size else
+                np.zeros(0, dtype=np.int64)
+            )
+            if slots.size:
+                recv_slots[peer] = slots.astype(np.int64)
+            needed = halos[peer]
+            mine = needed[owner[needed] == rank] if needed.size else needed
+            if mine.size:
+                # Every halo node of `peer` owned here is local, so the
+                # sorted search is exact; rows go out ascending by
+                # global id, matching the peer's recv_slots order.
+                send_rows[peer] = np.searchsorted(local, mine).astype(np.int64)
+        row_indptr, row_indices = shard_rows[rank]
+        ranks.append(
+            RankShard(
+                rank=rank,
+                shards=shards,
+                num_nodes=n,
+                local_nodes=local,
+                halo_nodes=halo,
+                indptr=row_indptr,
+                indices=row_indices,
+                send_rows=send_rows,
+                recv_slots=recv_slots,
+                boundary_fingerprints=fingerprints[rank],
+            )
+        )
+    return ShardPlan(shards=shards, num_nodes=n, owner=owner, ranks=tuple(ranks))

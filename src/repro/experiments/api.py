@@ -25,7 +25,13 @@ from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from ..congest.runtime import get_default_runtime, set_default_runtime
-from ..engine import get_default_backend, set_default_backend
+from ..engine import (
+    ShardedBackend,
+    get_default_backend,
+    mp_context,
+    set_default_backend,
+    with_shards,
+)
 from ..errors import ConfigurationError
 from .registry import all_specs, get_spec
 from .result import ExperimentResult
@@ -33,12 +39,21 @@ from .result import ExperimentResult
 __all__ = ["run", "run_one", "resolve_ids", "cache_path", "load_cached", "write_cache"]
 
 
-def _backend_name(backend: "str | None") -> str:
-    """The backend label recorded in results and cache keys."""
+def _backend_name(backend: "str | None", shards: int = 1) -> str:
+    """The backend label recorded in results and cache keys.
+
+    ``shards > 1`` suffixes the label (e.g. ``"auto-shards4"``) so
+    sharded results never collide with single-process cache entries —
+    they are bit-identical, but their provenance differs.
+    """
     if backend is not None:
-        return backend
-    default = get_default_backend()
-    return default if isinstance(default, str) else default.name
+        base = backend
+    else:
+        default = get_default_backend()
+        base = default if isinstance(default, str) else default.name
+    if shards > 1:
+        return f"{base}-shards{shards}"
+    return base
 
 
 def resolve_ids(
@@ -81,12 +96,13 @@ def cache_path(
     profile: str,
     seed: int,
     backend: "str | None" = None,
+    shards: int = 1,
 ) -> Path:
-    """The on-disk cache location for one ``(id, profile, seed, backend)``."""
+    """The cache location for one ``(id, profile, seed, backend, shards)``."""
     safe_profile = re.sub(r"[^A-Za-z0-9_.-]+", "-", profile)
     name = (
         f"{experiment_id}--{safe_profile}--seed{seed}"
-        f"--{_backend_name(backend)}.json"
+        f"--{_backend_name(backend, shards)}.json"
     )
     return Path(cache_dir) / name
 
@@ -149,6 +165,7 @@ def run_one(
     seed: int = 0,
     backend: "str | None" = None,
     runtime: "str | None" = None,
+    shards: int = 1,
     progress: Callable[[str], None] | None = None,
 ) -> ExperimentResult:
     """Execute a single experiment in-process and return its result.
@@ -156,13 +173,20 @@ def run_one(
     Sets the process-wide default backend — and, when ``runtime`` is
     given, the default CONGEST runtime — for the duration of the run
     (restored afterwards) so every simulation layer resolves to them.
+    With ``shards > 1`` the backend is wrapped in a
+    :class:`~repro.engine.ShardedBackend` (its worker pool is shut down
+    when the experiment finishes); results are bit-identical to
+    ``shards=1``, only the execution fabric changes.
     """
     spec = get_spec(experiment_id)
-    backend_name = _backend_name(backend)
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    backend_name = _backend_name(backend, shards)
+    effective_backend = with_shards(backend, shards)
     previous_backend = get_default_backend()
     previous_runtime = get_default_runtime()
-    if backend is not None:
-        set_default_backend(backend)
+    if effective_backend is not None:
+        set_default_backend(effective_backend)
     try:
         if runtime is not None:
             set_default_runtime(runtime)
@@ -175,6 +199,8 @@ def run_one(
     finally:
         set_default_backend(previous_backend)
         set_default_runtime(previous_runtime)
+        if isinstance(effective_backend, ShardedBackend):
+            effective_backend.close()
     return ExperimentResult(
         experiment_id=spec.id,
         title=spec.title,
@@ -188,15 +214,22 @@ def run_one(
     )
 
 
-def _run_payload(payload: "tuple[str, str, int, str | None, str | None]") -> dict:
+def _run_payload(
+    payload: "tuple[str, str, int, str | None, str | None, int]",
+) -> dict:
     """Worker-process entry: run one experiment, return its dict form.
 
     Results cross the process boundary as plain dicts (JSON-able) so the
     executor never pickles specs, tables, or numpy scalars.
     """
-    experiment_id, profile, seed, backend, runtime = payload
+    experiment_id, profile, seed, backend, runtime, shards = payload
     return run_one(
-        experiment_id, profile=profile, seed=seed, backend=backend, runtime=runtime
+        experiment_id,
+        profile=profile,
+        seed=seed,
+        backend=backend,
+        runtime=runtime,
+        shards=shards,
     ).to_dict()
 
 
@@ -207,6 +240,7 @@ def run(
     seed: int = 0,
     backend: "str | None" = None,
     runtime: "str | None" = None,
+    shards: int = 1,
     jobs: int = 1,
     tags: Iterable[str] | None = None,
     cache_dir: "str | Path | None" = None,
@@ -231,6 +265,12 @@ def run(
         for the message-passing engines experiments drive (``None``
         keeps the process default).  Runtimes are bit-identical per
         seed, so like the backend this only changes speed.
+    shards:
+        Worker-process count for the sharded execution tier.  ``1``
+        (default) runs single-process; ``P > 1`` partitions every
+        topology across ``P`` shard workers — results stay bit-identical
+        (only throughput and memory locality change), but cache entries
+        are kept separate via the ``-shardsP`` backend label.
     jobs:
         Worker processes; ``1`` runs serially in-process, ``N > 1`` fans
         experiments out over a :class:`ProcessPoolExecutor`.
@@ -253,6 +293,8 @@ def run(
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
     if runtime is not None:
         # Validate eagerly so unknown names fail before anything runs
         # (the CLI surfaces this one-line message verbatim).
@@ -273,11 +315,12 @@ def run(
                     profile=profile,
                     seed=seed,
                     backend=backend,
+                    shards=shards,
                 ),
                 experiment_id=experiment_id,
                 profile=profile,
                 seed=seed,
-                backend_name=_backend_name(backend),
+                backend_name=_backend_name(backend, shards),
             )
         if cached is not None:
             hits[experiment_id] = cached
@@ -296,6 +339,7 @@ def run(
                     profile=profile,
                     seed=seed,
                     backend=backend,
+                    shards=shards,
                 ),
                 result,
             )
@@ -308,8 +352,10 @@ def run(
             on_result(result)
 
     if pending and jobs > 1:
-        payloads = [(x, profile, seed, backend, runtime) for x in pending]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        payloads = [(x, profile, seed, backend, runtime, shards) for x in pending]
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)), mp_context=mp_context()
+        ) as pool:
             fresh = pool.map(_run_payload, payloads)  # yields in order
             for experiment_id in selected:
                 if experiment_id in hits:
@@ -329,6 +375,7 @@ def run(
                         seed=seed,
                         backend=backend,
                         runtime=runtime,
+                        shards=shards,
                         progress=progress,
                     ),
                 )

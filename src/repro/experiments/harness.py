@@ -208,6 +208,15 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
         "(default) or reference; bit-identical per seed, speed only",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="P",
+        help="partition each point's topology across P shard worker "
+        "processes (default 1 = single-process); results are "
+        "bit-identical for every P",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -261,6 +270,7 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
             profile=args.profile,
             backend=args.backend,
             runtime=args.runtime,
+            shards=args.shards,
             jobs=args.jobs,
             cache_dir=args.cache,
             batch_replicas=not args.no_batch,
@@ -326,6 +336,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="NAME",
         help="CONGEST runtime for message-passing engines: vectorized "
         "(default) or reference; bit-identical per seed, speed only",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="P",
+        help="shard each simulation across P worker processes "
+        "(default 1 = single-process); results are bit-identical, "
+        "cache entries are kept per shard count",
     )
     parser.add_argument(
         "--jobs",
@@ -401,6 +420,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
             backend=args.backend,
             runtime=args.runtime,
+            shards=args.shards,
             jobs=args.jobs,
             tags=tags,
             cache_dir=args.cache,

@@ -50,7 +50,7 @@ from typing import Callable, Mapping, Sequence
 from ..congest.runtime import resolve_runtime
 from ..core.parameters import SimulationParameters
 from ..core.round_simulator import BatchedSession
-from ..engine import get_backend
+from ..engine import ShardedBackend, get_backend, mp_context, with_shards
 from ..errors import ConfigurationError
 from ..experiments import api
 from ..experiments.result import ExperimentResult
@@ -122,7 +122,9 @@ def _point_result(
     )
 
 
-def _identity_columns(point: GridPoint, topology: Topology) -> dict:
+def _identity_columns(
+    point: GridPoint, topology: Topology, shards: int = 1
+) -> dict:
     """The record columns shared by every workload: axes and structure."""
     return {
         "family": point.family,
@@ -132,6 +134,7 @@ def _identity_columns(point: GridPoint, topology: Topology) -> dict:
         "eps": point.eps,
         "gamma": point.gamma,
         "backend": point.backend,
+        "shards": shards,
         "seed": point.seed,
         "delta": topology.max_degree,
         "edges": topology.num_edges,
@@ -140,7 +143,7 @@ def _identity_columns(point: GridPoint, topology: Topology) -> dict:
 
 
 def _execute_workload_point(
-    point: GridPoint, profile: str, runtime: str
+    point: GridPoint, profile: str, runtime: str, shards: int = 1
 ) -> ExperimentResult:
     """Run one algorithm-workload point: build the graph, run, check.
 
@@ -160,7 +163,7 @@ def _execute_workload_point(
         runtime=runtime,
     )
     elapsed = time.perf_counter() - started
-    measured = _identity_columns(point, topology)
+    measured = _identity_columns(point, topology, shards)
     measured.update(
         message_bits=outcome.message_bits,
         beep_rounds_per_round=None,
@@ -178,7 +181,10 @@ def _execute_workload_point(
 
 
 def execute_point(
-    point: GridPoint, profile: str = "quick", runtime: "str | None" = None
+    point: GridPoint,
+    profile: str = "quick",
+    runtime: "str | None" = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     """Simulate one grid point end to end and return its structured result.
 
@@ -198,7 +204,9 @@ def execute_point(
     through the CONGEST runtime selected by ``runtime`` (default: the
     process default; runtimes are bit-identical per seed).
     """
-    [result] = execute_batch([point], profile=profile, runtime=runtime)
+    [result] = execute_batch(
+        [point], profile=profile, runtime=runtime, shards=shards
+    )
     return result
 
 
@@ -206,6 +214,7 @@ def execute_batch(
     points: "Sequence[GridPoint]",
     profile: str = "quick",
     runtime: "str | None" = None,
+    shards: int = 1,
 ) -> list[ExperimentResult]:
     """Simulate a group of same-cell points (differing only by seed) at once.
 
@@ -238,10 +247,12 @@ def execute_batch(
                 "execute_batch points must differ only by seed; got "
                 f"{point.label()} next to {first.label()}"
             )
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
     if first.workload != "broadcast":
         resolved = resolve_runtime(runtime)
         return [
-            _execute_workload_point(point, profile, resolved)
+            _execute_workload_point(point, profile, resolved, shards)
             for point in points
         ]
     topologies = [_point_topology(point) for point in points]
@@ -255,6 +266,35 @@ def execute_batch(
         groups.setdefault(fingerprint, []).append(index)
 
     results: list[ExperimentResult] = [None] * len(points)  # type: ignore[list-item]
+    # One sharded wrapper (and worker pool) for the whole batch; shards=1
+    # passes the plain backend name through untouched.
+    effective_backend = with_shards(first.backend, shards)
+    try:
+        results = _execute_broadcast_groups(
+            points, topologies, groups, first, profile, shards, effective_backend
+        )
+    finally:
+        if isinstance(effective_backend, ShardedBackend):
+            effective_backend.close()
+    # Every input index is covered by exactly one fingerprint group, so
+    # no slot can be left empty — fail loudly rather than ever letting a
+    # coverage bug misalign results with their points.
+    if any(result is None for result in results):  # pragma: no cover
+        raise ConfigurationError("execute_batch left a point without a result")
+    return results
+
+
+def _execute_broadcast_groups(
+    points: "Sequence[GridPoint]",
+    topologies: "Sequence[Topology]",
+    groups: "Mapping[bytes, list[int]]",
+    first: GridPoint,
+    profile: str,
+    shards: int,
+    effective_backend,
+) -> list[ExperimentResult]:
+    """Run every replica group of one broadcast batch (see execute_batch)."""
+    results: list[ExperimentResult] = [None] * len(points)  # type: ignore[list-item]
     for indices in groups.values():
         topology = topologies[indices[0]]
         params = _point_parameters(first, topology)
@@ -263,7 +303,7 @@ def execute_batch(
             topology,
             params,
             [_session_seed(points[index]) for index in indices],
-            backend=first.backend,
+            backend=effective_backend,
         )
         message_rngs = [
             derive_rng(_session_seed(points[index]), "sweep-messages")
@@ -290,7 +330,7 @@ def execute_batch(
         elapsed = (time.perf_counter() - started) / len(indices)
         for position, index in enumerate(indices):
             point = points[index]
-            measured = _identity_columns(point, topology)
+            measured = _identity_columns(point, topology, shards)
             measured.update(
                 message_bits=params.message_bits,
                 beep_rounds_per_round=params.rounds_per_simulated_round,
@@ -305,22 +345,19 @@ def execute_batch(
                 valid=None,
             )
             results[index] = _point_result(point, profile, measured, elapsed)
-    # Every input index is covered by exactly one fingerprint group, so
-    # no slot can be left empty — fail loudly rather than ever letting a
-    # coverage bug misalign results with their points.
-    if any(result is None for result in results):  # pragma: no cover
-        raise ConfigurationError("execute_batch left a point without a result")
     return results
 
 
 def _execute_payload(
-    payload: "tuple[tuple[GridPoint, ...], str, str | None]",
+    payload: "tuple[tuple[GridPoint, ...], str, str | None, int]",
 ) -> list[dict]:
     """Worker-process entry: run one batch group, return its dict forms."""
-    points, profile, runtime = payload
+    points, profile, runtime, shards = payload
     return [
         result.to_dict()
-        for result in execute_batch(list(points), profile=profile, runtime=runtime)
+        for result in execute_batch(
+            list(points), profile=profile, runtime=runtime, shards=shards
+        )
     ]
 
 
@@ -337,7 +374,9 @@ def _point_record(point: GridPoint, result: ExperimentResult) -> dict:
     return record
 
 
-def _cache_identity_matches(point: GridPoint, result: ExperimentResult) -> bool:
+def _cache_identity_matches(
+    point: GridPoint, result: ExperimentResult, shards: int = 1
+) -> bool:
     """Whether a cached result's record carries exactly ``point``'s identity.
 
     The cache file name and stored ``experiment_id`` are the sanitised
@@ -346,8 +385,10 @@ def _cache_identity_matches(point: GridPoint, result: ExperimentResult) -> bool:
     predates schema additions; the long-form record inside the result
     carries the *unsanitised* identity, so replay requires every
     identity column — family, generator params, ``n``, ``eps``,
-    ``gamma``, backend, seed, ``rounds`` — to match the requested point
-    exactly.  Anything malformed or mismatched is a cache miss.
+    ``gamma``, backend, ``shards``, seed, ``rounds`` — to match the
+    requested point exactly.  Anything malformed or mismatched is a
+    cache miss (``shards`` runs are bit-identical but cached separately,
+    so each record's provenance column stays truthful).
     """
     try:
         record = _point_record(point, result)
@@ -362,6 +403,7 @@ def _cache_identity_matches(point: GridPoint, result: ExperimentResult) -> bool:
             and record["eps"] == point.eps
             and record["gamma"] == point.gamma
             and record["backend"] == point.backend
+            and record["shards"] == shards
             and record["seed"] == point.seed
             and record["rounds"] == point.rounds
         )
@@ -370,7 +412,7 @@ def _cache_identity_matches(point: GridPoint, result: ExperimentResult) -> bool:
 
 
 def _load_cached_point(
-    cache_dir: "str | Path", point: GridPoint, profile: str
+    cache_dir: "str | Path", point: GridPoint, profile: str, shards: int = 1
 ) -> "ExperimentResult | None":
     """Probe the on-disk cache for one point, with full identity verification."""
     cached = api.load_cached(
@@ -380,13 +422,14 @@ def _load_cached_point(
             profile=profile,
             seed=point.seed,
             backend=point.backend,
+            shards=shards,
         ),
         experiment_id=point.slug(),
         profile=profile,
         seed=point.seed,
         backend_name=point.backend,
     )
-    if cached is None or not _cache_identity_matches(point, cached):
+    if cached is None or not _cache_identity_matches(point, cached, shards):
         return None
     return cached
 
@@ -440,6 +483,7 @@ def run(
     profile: str = "quick",
     backend: "str | None" = None,
     runtime: "str | None" = None,
+    shards: int = 1,
     jobs: int = 1,
     cache_dir: "str | Path | None" = None,
     batch_replicas: bool = True,
@@ -462,6 +506,13 @@ def run(
         CONGEST runtime for algorithm workloads (the CLI ``--runtime``
         flag); ``None`` uses the process default.  Runtimes are
         bit-identical per seed, so this only changes speed.
+    shards:
+        Shard-worker count for the sharded execution tier (the CLI
+        ``--shards`` flag).  ``1`` keeps the single-process path;
+        ``P > 1`` partitions each point's topology across ``P`` worker
+        processes.  Simulated numbers are bit-identical for every value
+        — the ``shards`` column in the records (and the cache identity)
+        tracks provenance only.
     jobs:
         Worker processes; ``1`` runs batch groups serially in-process.
     cache_dir:
@@ -478,6 +529,8 @@ def run(
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
     if backend is not None and backend != "auto":
         get_backend(backend)  # eager: fail before validation/probing work
     runtime = resolve_runtime(runtime)  # eager: unknown names fail first
@@ -488,7 +541,7 @@ def run(
     pending: list[int] = []
     for index, point in enumerate(points):
         cached = (
-            _load_cached_point(cache_dir, point, profile)
+            _load_cached_point(cache_dir, point, profile, shards)
             if cache_dir is not None
             else None
         )
@@ -509,6 +562,7 @@ def run(
                     profile=profile,
                     seed=points[index].seed,
                     backend=points[index].backend,
+                    shards=shards,
                 ),
                 result,
             )
@@ -521,10 +575,12 @@ def run(
     groups = _batch_groups(points, pending, batch_replicas, jobs=jobs)
     if pending and jobs > 1:
         payloads = [
-            (tuple(points[index] for index in group), profile, runtime)
+            (tuple(points[index] for index in group), profile, runtime, shards)
             for group in groups
         ]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as pool:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(groups)), mp_context=mp_context()
+        ) as pool:
             fresh = pool.map(_execute_payload, payloads)  # yields in order
             for group in groups:
                 group_dicts = next(fresh)
@@ -535,7 +591,10 @@ def run(
     else:
         for group in groups:
             group_results = execute_batch(
-                [points[index] for index in group], profile=profile, runtime=runtime
+                [points[index] for index in group],
+                profile=profile,
+                runtime=runtime,
+                shards=shards,
             )
             for index, result in zip(group, group_results):
                 finish(index, result)

@@ -35,7 +35,11 @@ __all__ = ["SWEEP_SCHEMA_VERSION", "POINT_FIELDS", "CELL_KEY", "SweepResult"]
 #: columns (``rounds_used``, ``messages_sent``, ``output_size``,
 #: ``valid``); columns that do not apply to a point's workload hold
 #: ``None`` (JSON ``null``, empty CSV cell).
-SWEEP_SCHEMA_VERSION = 3
+#: Version 4 added the ``shards`` execution column (worker-process count
+#: of the sharded tier; ``1`` = single-process).  ``shards`` is
+#: provenance, not identity: it is deliberately excluded from
+#: :data:`CELL_KEY`, because sharded execution is bit-identical.
+SWEEP_SCHEMA_VERSION = 4
 
 #: Column order of the long-form per-point records.
 POINT_FIELDS: tuple[str, ...] = (
@@ -46,6 +50,7 @@ POINT_FIELDS: tuple[str, ...] = (
     "eps",
     "gamma",
     "backend",
+    "shards",
     "seed",
     "delta",
     "edges",

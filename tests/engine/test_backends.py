@@ -120,6 +120,21 @@ class TestNeighborOrEquivalence:
         with pytest.raises(ConfigurationError):
             PACKED.neighbor_or(topology, np.zeros(4, dtype=bool))
 
+    def test_sparse_vector_skips_row_bitmap(self):
+        # A long path is far below the density bar: the vector primitive
+        # must answer through the CSR path without ever materialising the
+        # Theta(n^2 / 8)-byte row bitmap (prohibitive at zoo scale).
+        topology = Topology(path_graph(400))
+        rng = np.random.default_rng(11)
+        beeps = rng.random(400) < 0.3
+        heard = PACKED.neighbor_or(topology, beeps)
+        assert "packed_adjacency" not in topology.__dict__
+        assert np.array_equal(heard, DENSE.neighbor_or(topology, beeps))
+        # Once the bitmap exists (a dense-graph caller paid for it), the
+        # fast path reuses it — same bits either way.
+        _ = topology.packed_adjacency
+        assert np.array_equal(heard, PACKED.neighbor_or(topology, beeps))
+
 
 class _InvertChannel(NoiseModel):
     """A channel the bit-packed backend has no packed fast path for."""

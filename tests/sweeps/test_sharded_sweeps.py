@@ -1,0 +1,108 @@
+"""Sweep- and CLI-level tests for the sharded execution tier.
+
+Pins down the user-facing contract of ``--shards``: identical simulated
+numbers for every shard count (the bit-identity invariant surfaced at
+campaign scale), a truthful ``shards`` provenance column, and cache
+entries that never leak across shard counts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import sweeps
+from repro.experiments import api
+from repro.experiments.harness import main, sweep_main
+
+GRID = {
+    "grid": {
+        "topologies": ["cycle", "expander"],
+        "sizes": [16],
+        "noises": [0.0, 0.05],
+        "seeds": [0, 1],
+        "rounds": 2,
+        "backends": ["dense"],
+    }
+}
+
+
+def stripped_points(result) -> list[dict]:
+    """Point records minus wall-clock and provenance-only columns."""
+    return [
+        {
+            key: value
+            for key, value in record.items()
+            if key not in ("elapsed", "cached", "shards")
+        }
+        for record in result.points
+    ]
+
+
+class TestShardedSweeps:
+    def test_bit_identical_across_shard_counts(self):
+        plain = sweeps.run(GRID, profile="quick")
+        two = sweeps.run(GRID, profile="quick", shards=2)
+        four = sweeps.run(GRID, profile="quick", shards=4)
+        assert stripped_points(plain) == stripped_points(two)
+        assert stripped_points(plain) == stripped_points(four)
+        # Aggregate cells exclude wall-clock and shards entirely, so the
+        # CSV artifact is byte-identical — the CI equivalence check.
+        assert plain.cells_csv() == two.cells_csv() == four.cells_csv()
+
+    def test_shards_column_records_provenance(self):
+        result = sweeps.run(GRID, profile="quick", shards=2)
+        assert {record["shards"] for record in result.points} == {2}
+        assert {record["shards"] for record in sweeps.run(GRID).points} == {1}
+
+    def test_cache_kept_separate_per_shard_count(self, tmp_path):
+        first = sweeps.run(GRID, profile="quick", cache_dir=tmp_path, shards=1)
+        assert not any(record["cached"] for record in first.points)
+        # A different shard count must not replay shards=1 entries...
+        second = sweeps.run(GRID, profile="quick", cache_dir=tmp_path, shards=2)
+        assert not any(record["cached"] for record in second.points)
+        # ...but the same shard count replays its own.
+        replay = sweeps.run(GRID, profile="quick", cache_dir=tmp_path, shards=2)
+        assert all(record["cached"] for record in replay.points)
+        names = {path.name for path in tmp_path.glob("*.json")}
+        assert any("-shards2" in name for name in names)
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(Exception, match="shards must be >= 1"):
+            sweeps.run(GRID, shards=0)
+
+
+class TestShardedCli:
+    def test_sweep_cli_accepts_shards(self, tmp_path, capsys):
+        grid_path = tmp_path / "grid.toml"
+        grid_path.write_text(
+            "[grid]\n"
+            'topologies = ["cycle"]\n'
+            "sizes = [16]\n"
+            "noises = [0.0]\n"
+            "seeds = [0]\n"
+            "rounds = 1\n"
+            'backends = ["dense"]\n'
+        )
+        code = sweep_main(
+            ["--grid", str(grid_path), "--shards", "2", "--format", "json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [record["shards"] for record in doc["points"]] == [2]
+
+    def test_experiments_cli_accepts_shards(self, capsys):
+        code = main(["e01", "--shards", "2", "--format", "json"])
+        assert code == 0
+        [doc] = json.loads(capsys.readouterr().out)
+        assert doc["backend"] == "auto-shards2"
+
+    def test_run_one_label_and_equivalence(self):
+        plain = api.run_one("e01", profile="quick", seed=0)
+        shard = api.run_one("e01", profile="quick", seed=0, shards=2)
+        assert plain.backend == "auto"
+        assert shard.backend == "auto-shards2"
+        assert [t.to_dict() for t in plain.tables] == [
+            t.to_dict() for t in shard.tables
+        ]

@@ -31,6 +31,12 @@ MODULES: tuple[str, ...] = (
     "repro.engine.dense",
     "repro.engine.bitpacked",
     "repro.engine.packing",
+    "repro.engine.mp",
+    "repro.engine.sharded",
+    "repro.engine.sharded.partition",
+    "repro.engine.sharded.shard",
+    "repro.engine.sharded.coordinator",
+    "repro.memguard",
     "repro.experiments.spec",
     "repro.experiments.api",
     "repro.experiments.result",
