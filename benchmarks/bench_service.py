@@ -1,0 +1,217 @@
+"""Service-layer benchmark: submission throughput and job latency.
+
+Boots one in-process :class:`repro.service.JobService` on an ephemeral
+port and measures the two numbers that bound a deployment:
+
+* **cache-hit submissions/s** — ``POST /v1/jobs`` with a payload whose
+  identity key is already bound: pure single-flight lookup + HTTP, no
+  simulation.  This is the server's hot path once a result exists.
+* **result fetches/s** — ``GET .../result`` for a done job: one shared
+  document read per request.
+* **cold quick-job latency** — end-to-end seconds from a cold submit to
+  ``done`` for one quick-profile experiment, through the production
+  ``spawn``-worker executor (includes process start-up) and, for
+  contrast, through the inline executor (the pure compute + store
+  floor).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick    # CI smoke
+
+Writes ``BENCH_service.json`` (see ``--output``) with the shared
+host-provenance block, so numbers from different machines are never
+compared blind.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+import urllib.request
+
+from conftest import host_metadata
+from repro.service import JobService, ServiceConfig
+
+#: The experiment each cold-latency sample runs (cheapest in the registry).
+COLD_EXPERIMENT = "e01"
+
+
+def http_json(url: str, payload: "dict | None" = None) -> dict:
+    """GET (or POST ``payload``) ``url`` and decode the JSON body."""
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, method="GET" if data is None else "POST"
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.loads(response.read())
+
+
+def wait_done(base: str, job_id: str, timeout: float = 300.0) -> dict:
+    """Poll one job to a terminal state; raise if it failed or stalled."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = http_json(f"{base}/v1/jobs/{job_id}")
+        if state["state"] == "done":
+            return state
+        if state["state"] == "failed":
+            raise SystemExit(f"FATAL: benchmark job failed: {state['error']}")
+        time.sleep(0.02)
+    raise SystemExit(f"FATAL: job {job_id} did not finish within {timeout}s")
+
+
+def boot(inline: bool) -> JobService:
+    """One background service over a fresh store (ephemeral port)."""
+    service = JobService(
+        ServiceConfig(
+            host="127.0.0.1",
+            port=0,
+            store_dir=tempfile.mkdtemp(prefix="bench-service-"),
+            jobs=2,
+            inline=inline,
+        )
+    )
+    service.start()
+    service.start_background()
+    return service
+
+
+def measure_cold_latency(inline: bool, samples: int) -> dict:
+    """Cold submit → done latency, one fresh service per executor flavor.
+
+    Each sample uses a distinct seed so nothing dedupes or replays from
+    the cache — every job pays the full execution path.
+    """
+    service = boot(inline)
+    base = service.url
+    timings = []
+    try:
+        for seed in range(samples):
+            payload = {
+                "kind": "experiment",
+                "ids": [COLD_EXPERIMENT],
+                "profile": "quick",
+                "seed": seed,
+            }
+            started = time.perf_counter()
+            submitted = http_json(f"{base}/v1/jobs", payload)
+            wait_done(base, submitted["job_id"])
+            timings.append(time.perf_counter() - started)
+    finally:
+        service.shutdown()
+    return {
+        "executor": "inline" if inline else "subprocess",
+        "median_s": statistics.median(timings),
+        "min_s": min(timings),
+        "max_s": max(timings),
+        "samples": samples,
+    }
+
+
+def measure_hot_paths(requests: int) -> dict:
+    """Cache-hit submission and result-fetch throughput on one warm job."""
+    service = boot(True)
+    base = service.url
+    payload = {
+        "kind": "experiment",
+        "ids": [COLD_EXPERIMENT],
+        "profile": "quick",
+        "seed": 0,
+    }
+    try:
+        first = http_json(f"{base}/v1/jobs", payload)
+        wait_done(base, first["job_id"])
+
+        started = time.perf_counter()
+        for _ in range(requests):
+            reply = http_json(f"{base}/v1/jobs", payload)
+            assert reply["deduped"] and reply["job_id"] == first["job_id"]
+        submit_elapsed = time.perf_counter() - started
+
+        result_url = f"{base}/v1/jobs/{first['job_id']}/result"
+        started = time.perf_counter()
+        for _ in range(requests):
+            with urllib.request.urlopen(result_url, timeout=60) as response:
+                response.read()
+        fetch_elapsed = time.perf_counter() - started
+    finally:
+        service.shutdown()
+    return {
+        "requests": requests,
+        "dedup_submissions_per_s": requests / submit_elapsed,
+        "result_fetches_per_s": requests / fetch_elapsed,
+    }
+
+
+def main(argv=None) -> int:
+    """Entry point; writes the JSON document and prints a summary."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=300,
+        help="hot-path request count per measurement",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=5,
+        help="cold-latency samples per executor flavor",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI preset: 100 hot requests, 2 cold samples",
+    )
+    parser.add_argument("--output", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.requests = min(args.requests, 100)
+        args.samples = min(args.samples, 2)
+
+    print("measuring hot paths (dedup submit, result fetch) ...", flush=True)
+    hot = measure_hot_paths(args.requests)
+    print("measuring cold latency (inline executor) ...", flush=True)
+    cold_inline = measure_cold_latency(True, args.samples)
+    print("measuring cold latency (spawn-worker executor) ...", flush=True)
+    cold_subprocess = measure_cold_latency(False, args.samples)
+
+    document = {
+        "benchmark": "service_layer",
+        "config": {
+            "requests": args.requests,
+            "samples": args.samples,
+            "quick": args.quick,
+            "experiment": COLD_EXPERIMENT,
+        },
+        "platform": host_metadata(),
+        "results": {
+            "hot": hot,
+            "cold": [cold_inline, cold_subprocess],
+        },
+    }
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"hot: {hot['dedup_submissions_per_s']:8.0f} dedup submissions/s, "
+        f"{hot['result_fetches_per_s']:8.0f} result fetches/s "
+        f"({args.requests} requests each)"
+    )
+    for cold in (cold_inline, cold_subprocess):
+        print(
+            f"cold ({cold['executor']:>10}): median "
+            f"{cold['median_s']:.3f}s  min {cold['min_s']:.3f}s  "
+            f"max {cold['max_s']:.3f}s over {cold['samples']} jobs"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,11 +18,13 @@ cache keyed by ``(id, profile, seed, backend)``.
 
 from __future__ import annotations
 
+import contextlib
 import re
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..congest.runtime import get_default_runtime, set_default_runtime
 from ..engine import (
@@ -118,14 +120,26 @@ def load_cached(
     """Read a cache entry; anything unreadable or mismatched is a miss.
 
     Corrupt JSON (e.g. an interrupted write) and old-schema documents
-    must not wedge the runner, and the stored metadata must match the
-    request exactly — filename sanitization can collide (two profile
-    labels differing only in punctuation map to one file), so the file
-    name alone is not trusted.
+    must not wedge the runner — they are **deleted** and treated as
+    misses, so a half-written entry is probed at most once and can never
+    take down a long-running server worker that shares the cache.  The
+    stored metadata must additionally match the request exactly —
+    filename sanitization can collide (two profile labels differing only
+    in punctuation map to one file), so the file name alone is not
+    trusted; a metadata mismatch is a miss but the file is *kept* (it is
+    another request's valid entry, not junk).
     """
     try:
-        result = ExperimentResult.from_json(path.read_text())
-    except (OSError, ValueError, KeyError, TypeError, ConfigurationError):
+        text = path.read_text()
+    except OSError:
+        return None
+    try:
+        result = ExperimentResult.from_json(text)
+    except (ValueError, KeyError, TypeError, ConfigurationError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
         return None
     if (
         result.experiment_id != experiment_id
@@ -214,15 +228,63 @@ def run_one(
     )
 
 
+#: The message a relay drain thread interprets as "no more messages".
+#: A plain string because it crosses the manager-queue boundary, where
+#: object identity is not preserved.
+_RELAY_STOP = "__repro-progress-relay-stop__"
+
+
+@contextlib.contextmanager
+def _progress_relay(progress: Callable[[str], None]) -> Iterator[object]:
+    """A cross-process message queue wired back into ``progress``.
+
+    Progress callbacks are process-local (closures over sockets, UI
+    state, open files) and must never be pickled into workers — see
+    :meth:`RunContext.__getstate__ <repro.experiments.context.RunContext.
+    __getstate__>`.  This seam replaces them across the process boundary:
+    it yields a picklable manager-queue proxy whose ``put`` workers use
+    as their callback, while a drain thread in *this* process forwards
+    every message to the real ``progress``.  The callback is therefore
+    invoked from the relay thread, interleaved with any calls the runner
+    makes directly.
+    """
+    manager = mp_context().Manager()
+    try:
+        relay_queue = manager.Queue()
+
+        def drain() -> None:
+            while True:
+                message = relay_queue.get()
+                if message == _RELAY_STOP:
+                    return
+                progress(message)
+
+        thread = threading.Thread(
+            target=drain, name="repro-progress-relay", daemon=True
+        )
+        thread.start()
+        try:
+            yield relay_queue
+        finally:
+            relay_queue.put(_RELAY_STOP)
+            thread.join(timeout=10)
+    finally:
+        manager.shutdown()
+
+
 def _run_payload(
-    payload: "tuple[str, str, int, str | None, str | None, int]",
+    payload: "tuple[str, str, int, str | None, str | None, int, object]",
 ) -> dict:
     """Worker-process entry: run one experiment, return its dict form.
 
     Results cross the process boundary as plain dicts (JSON-able) so the
-    executor never pickles specs, tables, or numpy scalars.
+    executor never pickles specs, tables, or numpy scalars.  The last
+    payload slot is the optional progress-relay queue proxy (see
+    :func:`_progress_relay`); its ``put`` becomes the worker-side
+    callback, so in-experiment :meth:`RunContext.report` messages reach
+    the caller instead of being silently dropped.
     """
-    experiment_id, profile, seed, backend, runtime, shards = payload
+    experiment_id, profile, seed, backend, runtime, shards, relay_queue = payload
     return run_one(
         experiment_id,
         profile=profile,
@@ -230,6 +292,7 @@ def _run_payload(
         backend=backend,
         runtime=runtime,
         shards=shards,
+        progress=relay_queue.put if relay_queue is not None else None,
     ).to_dict()
 
 
@@ -281,11 +344,13 @@ def run(
         seed, backend) are replayed without executing; misses are
         executed then written back (unreadable entries count as misses).
     progress:
-        Optional callback receiving one-line status messages.  With
-        ``jobs == 1`` it is also wired into each experiment's
-        :meth:`RunContext.report`; with ``jobs > 1`` callbacks cannot
-        cross the process boundary, so only per-experiment completion
-        messages are delivered.
+        Optional callback receiving one-line status messages, including
+        each experiment's :meth:`RunContext.report` output.  The
+        callback itself never crosses a process boundary: with
+        ``jobs > 1`` worker-side messages travel over a queue-backed
+        relay (see :func:`_progress_relay`), so the callback may be
+        invoked from the relay thread interleaved with completion
+        messages from the calling thread.
     on_result:
         Optional callback invoked with each :class:`ExperimentResult` as
         it completes, in selection order — the CLI streams text output
@@ -352,16 +417,26 @@ def run(
             on_result(result)
 
     if pending and jobs > 1:
-        payloads = [(x, profile, seed, backend, runtime, shards) for x in pending]
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending)), mp_context=mp_context()
-        ) as pool:
-            fresh = pool.map(_run_payload, payloads)  # yields in order
-            for experiment_id in selected:
-                if experiment_id in hits:
-                    finish(experiment_id, hits[experiment_id])
-                else:
-                    finish(experiment_id, ExperimentResult.from_dict(next(fresh)))
+        relay: contextlib.AbstractContextManager = contextlib.nullcontext()
+        if progress is not None:
+            relay = _progress_relay(progress)
+        with relay as relay_queue:
+            payloads = [
+                (x, profile, seed, backend, runtime, shards, relay_queue)
+                for x in pending
+            ]
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)), mp_context=mp_context()
+            ) as pool:
+                fresh = pool.map(_run_payload, payloads)  # yields in order
+                for experiment_id in selected:
+                    if experiment_id in hits:
+                        finish(experiment_id, hits[experiment_id])
+                    else:
+                        finish(
+                            experiment_id,
+                            ExperimentResult.from_dict(next(fresh)),
+                        )
     else:
         for experiment_id in selected:
             if experiment_id in hits:

@@ -63,6 +63,21 @@ class RunContext:
                 f"profile must be a non-empty string, got {self.profile!r}"
             )
 
+    def __getstate__(self) -> dict:
+        """Pickle the context *without* its progress callback.
+
+        Progress callbacks are process-local — closures over queues,
+        open sockets, or UI state — and must never cross a process
+        boundary; a context that gets pickled into a worker therefore
+        drops the callback instead of failing (or worse, smuggling a
+        broken copy across).  Runners that want worker-side progress
+        re-wire it explicitly through a queue-backed relay (see
+        :func:`repro.experiments.api._progress_relay`).
+        """
+        state = dict(self.__dict__)
+        state["progress"] = None
+        return state
+
     @property
     def quick(self) -> bool:
         """True for every profile except ``"full"`` (v1 ``quick`` flag)."""

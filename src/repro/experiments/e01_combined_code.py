@@ -33,6 +33,7 @@ def run(ctx: RunContext) -> list[Table]:
 
     r, message = 11, 6
     layout = combined.layout(r, message)
+    ctx.report("combined-code layout assembled")
 
     table = Table(
         title="E1: combined code CD(r, m) construction (Figure 1)",

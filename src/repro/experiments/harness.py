@@ -285,17 +285,106 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
+def serve_main(argv: Sequence[str] | None = None) -> int:
+    """The ``serve`` subcommand: run the HTTP job server until interrupted.
+
+    Boots a :class:`repro.service.JobService` over a dir-backed store:
+    ``POST /v1/jobs`` takes the same payload shape as the programmatic
+    API, identical submissions are deduplicated onto one execution, and
+    results are shared through a content-keyed store (see
+    docs/ARCHITECTURE.md "The service layer").  Returns a process exit
+    code (0 clean shutdown, 2 usage/validation error).
+    """
+    from ..service import ServiceConfig, create_server
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description="Serve experiments and sweeps as async HTTP jobs",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        metavar="PORT",
+        help="TCP port; 0 picks an ephemeral port (default 8765)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        required=True,
+        metavar="DIR",
+        help="job-store root: specs, state, event logs, and the shared "
+        "content-keyed result store (created if missing; jobs survive "
+        "restarts)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker-pool width: how many jobs execute concurrently "
+        "(default 2)",
+    )
+    parser.add_argument(
+        "--inline",
+        action="store_true",
+        help="execute jobs in server threads instead of spawn worker "
+        "processes (debugging only)",
+    )
+    args = parser.parse_args(argv)
+
+    def log(message: str) -> None:
+        """Access/progress lines on stderr, like the sweep progress feed."""
+        print(f"[serve] {message}", file=sys.stderr)
+
+    try:
+        service = create_server(
+            ServiceConfig(
+                host=args.host,
+                port=args.port,
+                store_dir=args.store_dir,
+                jobs=args.jobs,
+                inline=args.inline,
+            ),
+            log=log,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"[serve] listening on http://{args.host}:{service.port} "
+        f"(store: {args.store_dir}, workers: {args.jobs})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("[serve] shutting down", file=sys.stderr)
+    finally:
+        service.shutdown()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code (0 ok, 2 usage error).
 
-    ``sweep`` as the first argument dispatches to :func:`sweep_main`;
-    everything else is the classic experiment-selection interface.
+    ``sweep`` as the first argument dispatches to :func:`sweep_main` and
+    ``serve`` to :func:`serve_main`; everything else is the classic
+    experiment-selection interface.
     """
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the paper's tables and figures (DESIGN.md 3)",

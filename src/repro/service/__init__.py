@@ -1,0 +1,55 @@
+"""Simulation-as-a-service: an async job server over the experiment API.
+
+The service layer turns the programmatic entry points —
+:func:`repro.experiments.api.run` and :func:`repro.sweeps.run` — into a
+long-lived HTTP job server with a shared, deduplicating result store.
+It is built entirely from the standard library (``http.server`` +
+``json``): zero new runtime dependencies.
+
+The pieces, bottom-up:
+
+- :mod:`repro.service.events` — append-only NDJSON event logs (the
+  progress stream's backing store).
+- :mod:`repro.service.jobs` — job specs: payload validation, canonical
+  identity keys, and the worker-process entry point.
+- :mod:`repro.service.store` — the dir-backed :class:`JobStore`
+  (crash-safe state machine, shared content-keyed result documents).
+- :mod:`repro.service.dedupe` — single-flight submission: one
+  execution per identity key, concurrent duplicates attach.
+- :mod:`repro.service.app` — the HTTP server, worker pool, and
+  executor seam tying it together.
+
+Start one from the CLI (``python -m repro.experiments serve ...``) or
+programmatically via :func:`create_server`.
+"""
+
+from .app import (
+    InlineExecutor,
+    JobService,
+    ServiceConfig,
+    SubprocessExecutor,
+    WorkerPool,
+    create_server,
+)
+from .dedupe import SingleFlight, Submission
+from .events import Event, EventLog
+from .jobs import JobFailure, JobSpec
+from .store import DirJobStore, JobRecord, JobStore
+
+__all__ = [
+    "ServiceConfig",
+    "JobService",
+    "WorkerPool",
+    "InlineExecutor",
+    "SubprocessExecutor",
+    "create_server",
+    "SingleFlight",
+    "Submission",
+    "Event",
+    "EventLog",
+    "JobSpec",
+    "JobFailure",
+    "JobStore",
+    "DirJobStore",
+    "JobRecord",
+]

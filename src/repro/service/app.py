@@ -1,0 +1,608 @@
+"""The HTTP job server: submit, poll, stream, fetch — stdlib only.
+
+One :class:`JobService` ties the pieces together: a
+:class:`~repro.service.store.DirJobStore` (durable state), a
+:class:`~repro.service.dedupe.SingleFlight` gate (one execution per
+identity), a :class:`WorkerPool` (dispatcher threads driving job
+executors), and a :class:`http.server.ThreadingHTTPServer` speaking a
+small JSON protocol:
+
+========  ==========================  =======================================
+method    path                        meaning
+========  ==========================  =======================================
+POST      ``/v1/jobs``                submit (the ``api.run``/``sweeps.run``
+                                      payload shape); 200 with the job id,
+                                      deduped flag, and current state
+GET       ``/v1/jobs``                list all jobs (id, kind, state)
+GET       ``/v1/jobs/<id>``           poll one job's state machine
+GET       ``/v1/jobs/<id>/events``    NDJSON event stream (``?follow=0`` for
+                                      a snapshot); follows until terminal
+GET       ``/v1/jobs/<id>/result``    the result document — JSON by default,
+                                      ``?format=csv`` for the CLI's CSV form
+GET       ``/v1/health``              liveness + per-state job counts
+========  ==========================  =======================================
+
+Error responses are always ``{"error": {"type", "message"}}`` with 400
+for malformed payloads (the same one-line diagnostics the CLI prints at
+exit 2), 404 for unknown jobs/routes, and 409 for results requested
+before a job is done.
+
+Executors are a seam: :class:`SubprocessExecutor` (the default) runs
+each job in a fresh ``spawn`` worker process — the library's pinned
+start method (:mod:`repro.engine.mp`) — relaying the worker's progress
+callback over a queue into the job's event log, and surviving worker
+death (a crash becomes a ``failed`` job, never a wedged server);
+:class:`InlineExecutor` runs jobs in the dispatcher thread (debugging,
+tests, and the dedupe benchmark's hot path).
+"""
+
+from __future__ import annotations
+
+import json
+import queue as queue_module
+import re
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable
+from urllib.parse import parse_qs, urlparse
+
+from ..engine import mp_context
+from ..errors import ConfigurationError
+from . import jobs as jobs_module
+from .dedupe import SingleFlight, Submission
+from .jobs import JobFailure, JobSpec
+from .store import TERMINAL_STATES, DirJobStore
+
+__all__ = [
+    "ServiceConfig",
+    "InlineExecutor",
+    "SubprocessExecutor",
+    "WorkerPool",
+    "JobService",
+    "create_server",
+]
+
+#: Route patterns, matched against the request path (query stripped).
+_JOB_ROUTE = re.compile(r"^/v1/jobs/(?P<job_id>[A-Za-z0-9_-]+)(?P<tail>/events|/result)?$")
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``serve`` needs: bind address, store location, pool size.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; port ``0`` asks the OS for an ephemeral port
+        (read the realised one off :attr:`JobService.port`).
+    store_dir:
+        Root of the dir-backed job store (created if missing).
+    jobs:
+        Worker-pool width — how many jobs execute concurrently.
+    inline:
+        Execute jobs in the dispatcher threads instead of worker
+        processes (debugging/tests; production keeps the default).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    store_dir: "str | Path" = "service-store"
+    jobs: int = 2
+    inline: bool = False
+
+
+class InlineExecutor:
+    """Run jobs in the calling (dispatcher) thread — no process hop.
+
+    The test and debugging seam: identical semantics to the subprocess
+    path (same :func:`~repro.service.jobs.execute_spec`, same shared
+    cache), minus the isolation.
+    """
+
+    def __init__(self, cache_dir: "str | Path | None") -> None:
+        """Execute against the shared result cache at ``cache_dir``."""
+        self._cache_dir = str(cache_dir) if cache_dir is not None else None
+
+    def __call__(
+        self, spec: JobSpec, emit: Callable[[str], None]
+    ) -> str:
+        """Execute ``spec`` now; progress goes straight to ``emit``."""
+        return jobs_module.execute_spec(
+            spec, cache_dir=self._cache_dir, progress=emit
+        )
+
+
+class SubprocessExecutor:
+    """Run each job in a fresh ``spawn`` worker process.
+
+    The worker reports over a queue — progress messages while running,
+    then exactly one terminal message (see :func:`~repro.service.jobs.
+    worker_entry`).  A worker that dies without reporting (OOM-kill,
+    segfault, ``kill -9``) is detected by process exit and surfaced as a
+    :class:`~repro.service.jobs.JobFailure`, so the dispatcher thread
+    and the server always outlive their workers.
+    """
+
+    #: Seconds between liveness checks while waiting on the worker queue.
+    poll_interval = 0.2
+
+    def __init__(self, cache_dir: "str | Path | None") -> None:
+        """Execute against the shared result cache at ``cache_dir``."""
+        self._cache_dir = str(cache_dir) if cache_dir is not None else None
+        self._ctx = mp_context()
+
+    def __call__(
+        self, spec: JobSpec, emit: Callable[[str], None]
+    ) -> str:
+        """Execute ``spec`` in a worker process, relaying its progress."""
+        channel = self._ctx.Queue()
+        worker = self._ctx.Process(
+            target=jobs_module.worker_entry,
+            args=(spec.to_dict(), self._cache_dir, channel),
+            daemon=True,
+        )
+        worker.start()
+        try:
+            outcome = self._pump(worker, channel, emit)
+        finally:
+            worker.join(timeout=5)
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+            channel.close()
+        kind, payload = outcome
+        if kind == "done":
+            return payload
+        raise JobFailure(payload["type"], payload["message"])
+
+    def _pump(self, worker, channel, emit) -> "tuple[str, dict | str]":
+        """Drain the worker's queue until a terminal message (or death)."""
+        while True:
+            try:
+                kind, payload = channel.get(timeout=self.poll_interval)
+            except queue_module.Empty:
+                if worker.is_alive():
+                    continue
+                # The worker died without a terminal message; drain any
+                # stragglers the feeder flushed right before death.
+                try:
+                    while True:
+                        kind, payload = channel.get_nowait()
+                        if kind == "progress":
+                            emit(payload)
+                        else:
+                            return kind, payload
+                except queue_module.Empty:
+                    pass
+                return (
+                    "failed",
+                    {
+                        "type": "WorkerCrash",
+                        "message": (
+                            "worker process exited with code "
+                            f"{worker.exitcode} before reporting a result"
+                        ),
+                    },
+                )
+            if kind == "progress":
+                emit(payload)
+                continue
+            return kind, payload
+
+
+class WorkerPool:
+    """Dispatcher threads that pull queued jobs and drive an executor.
+
+    The pool owns the ``queued → running → done | failed`` transitions;
+    the executor only computes.  Any exception the executor raises —
+    including :class:`~repro.service.jobs.JobFailure` relayed from a
+    worker process — becomes the job's stored error payload, so one bad
+    job can never take a dispatcher (or the server) down.
+    """
+
+    def __init__(
+        self,
+        store: DirJobStore,
+        *,
+        jobs: int,
+        executor: Callable[[JobSpec, Callable[[str], None]], str],
+    ) -> None:
+        """Create a pool of ``jobs`` dispatchers over ``store``."""
+        if jobs < 1:
+            raise ConfigurationError(f"service jobs must be >= 1, got {jobs}")
+        self._store = store
+        self._executor = executor
+        self._queue: "queue_module.Queue[str | None]" = queue_module.Queue()
+        self._threads = [
+            threading.Thread(
+                target=self._dispatch, name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            for index in range(jobs)
+        ]
+        self._started = False
+
+    def start(self) -> None:
+        """Start the dispatcher threads (idempotent)."""
+        if not self._started:
+            self._started = True
+            for thread in self._threads:
+                thread.start()
+
+    def stop(self) -> None:
+        """Ask every dispatcher to exit after its current job."""
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=10)
+
+    def submit(self, job_id: str) -> None:
+        """Enqueue one job id for execution."""
+        self._queue.put(job_id)
+
+    def _dispatch(self) -> None:
+        """One dispatcher thread's loop: pop, execute, finalize, repeat."""
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            try:
+                self._run_job(job_id)
+            except Exception as error:  # defensive: dispatcher must survive
+                try:
+                    self._store.set_state(
+                        job_id,
+                        "failed",
+                        error={
+                            "type": type(error).__name__,
+                            "message": str(error),
+                        },
+                    )
+                except Exception:
+                    pass
+
+    def _run_job(self, job_id: str) -> None:
+        """Execute one job end to end, folding failures into its record."""
+        record = self._store.get(job_id)
+        if record.state != "queued":
+            return  # raced with recovery or a duplicate enqueue
+        self._store.set_state(job_id, "running")
+
+        def emit(message: str) -> None:
+            self._store.append_event(job_id, "progress", message)
+
+        try:
+            document = self._executor(record.spec, emit)
+        except JobFailure as failure:
+            self._store.set_state(
+                job_id,
+                "failed",
+                error={"type": failure.type_name, "message": failure.message},
+            )
+        except Exception as error:
+            self._store.set_state(
+                job_id,
+                "failed",
+                error={"type": type(error).__name__, "message": str(error)},
+            )
+        else:
+            ref = self._store.put_result(record.key, document)
+            self._store.set_state(job_id, "done", result_ref=ref)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler: routes the JSON protocol over the service object."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> "JobService":
+        """The owning :class:`JobService` (attached to the HTTP server)."""
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Route access logs through the service's logger (default: drop)."""
+        self.service.log(f"{self.address_string()} {format % args}")
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        """One JSON response with an exact Content-Length (keep-alive safe)."""
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_document(self, body: str, content_type: str) -> None:
+        """A stored result document, byte-exact, with Content-Length."""
+        raw = body.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
+    def _send_error_payload(self, status: int, error_type: str, message: str) -> None:
+        """The uniform error envelope every failure path responds with."""
+        self._send_json(
+            status, {"error": {"type": error_type, "message": message}}
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        """``POST /v1/jobs``: normalize, dedupe, enqueue, respond."""
+        parsed = urlparse(self.path)
+        if parsed.path.rstrip("/") != "/v1/jobs":
+            self._send_error_payload(404, "NotFound", f"no route {parsed.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length)
+            payload = json.loads(raw.decode("utf-8")) if raw else None
+        except (ValueError, UnicodeDecodeError) as error:
+            self._send_error_payload(
+                400, "BadRequest", f"request body is not valid JSON: {error}"
+            )
+            return
+        try:
+            submission = self.service.submit(payload)
+        except ConfigurationError as error:
+            self._send_error_payload(400, "ConfigurationError", str(error))
+            return
+        record = submission.record
+        self._send_json(
+            200,
+            {
+                "job_id": record.job_id,
+                "state": record.state,
+                "kind": record.spec.kind,
+                "key": record.key,
+                "deduped": submission.deduped,
+            },
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        """Route ``GET``: health, job list, job state, events, result."""
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/") or "/"
+        query = parse_qs(parsed.query)
+        if path == "/v1/health":
+            self._send_json(
+                200, {"status": "ok", "jobs": self.service.store.counts()}
+            )
+            return
+        if path == "/v1/jobs":
+            self._send_json(
+                200,
+                {
+                    "jobs": [
+                        {
+                            "job_id": record.job_id,
+                            "kind": record.spec.kind,
+                            "state": record.state,
+                        }
+                        for record in self.service.store.list_jobs()
+                    ]
+                },
+            )
+            return
+        match = _JOB_ROUTE.match(path)
+        if match is None:
+            self._send_error_payload(404, "NotFound", f"no route {path}")
+            return
+        job_id, tail = match.group("job_id"), match.group("tail")
+        try:
+            record = self.service.store.get(job_id)
+        except KeyError:
+            self._send_error_payload(404, "NotFound", f"no job {job_id!r}")
+            return
+        if tail is None:
+            self._send_json(200, record.to_public_dict())
+        elif tail == "/events":
+            self._stream_events(job_id, query)
+        else:
+            self._send_result(record, query)
+
+    def _send_result(self, record, query: dict) -> None:
+        """``GET /v1/jobs/<id>/result``: the stored document, byte-exact."""
+        if record.state == "failed":
+            self._send_json(
+                409,
+                {
+                    "error": record.error
+                    or {"type": "JobFailed", "message": "job failed"},
+                    "state": record.state,
+                },
+            )
+            return
+        if record.state not in TERMINAL_STATES or record.result_ref is None:
+            self._send_error_payload(
+                409,
+                "NotReady",
+                f"job {record.job_id!r} is {record.state}; poll "
+                f"/v1/jobs/{record.job_id} until it is done",
+            )
+            return
+        document = self.service.store.load_result(record.result_ref)
+        output_format = (query.get("format") or ["json"])[0]
+        if output_format == "csv":
+            self._send_document(
+                jobs_module.render_csv(record.spec.kind, document),
+                "text/csv; charset=utf-8",
+            )
+        elif output_format == "json":
+            self._send_document(document, "application/json")
+        else:
+            self._send_error_payload(
+                400, "BadRequest", f"unknown format {output_format!r} "
+                "(choose json or csv)"
+            )
+
+    def _stream_events(self, job_id: str, query: dict) -> None:
+        """``GET /v1/jobs/<id>/events``: NDJSON, live-following by default.
+
+        The response is close-delimited (no Content-Length): each event
+        is written and flushed as one line, and the connection closes
+        once the job reaches a terminal state and the log is drained.
+        ``?follow=0`` returns the current snapshot immediately;
+        ``?after=N`` resumes from sequence cursor ``N``.
+        """
+        follow = (query.get("follow") or ["1"])[0] not in ("0", "false", "no")
+        try:
+            after = int((query.get("after") or ["0"])[0])
+        except ValueError:
+            after = 0
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        log = self.service.store.events(job_id)
+
+        def finished() -> bool:
+            try:
+                return self.service.store.get(job_id).state in TERMINAL_STATES
+            except KeyError:
+                return True
+
+        try:
+            if follow:
+                for event in log.follow(after_seq=after, finished=finished):
+                    self.wfile.write(event.to_line().encode("utf-8"))
+                    self.wfile.flush()
+            else:
+                for event in log.read(after_seq=after):
+                    self.wfile.write(event.to_line().encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up mid-stream; nothing to clean up
+
+
+class _Server(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its owning :class:`JobService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, service: "JobService") -> None:
+        """Bind and remember the owning service for the handlers."""
+        self.service = service
+        super().__init__(address, handler)
+
+
+class JobService:
+    """The assembled service: store + dedupe gate + pool + HTTP server.
+
+    Lifecycle: construct with a :class:`ServiceConfig`, :meth:`start`
+    (recovers the store, starts the pool, binds the socket), then either
+    :meth:`serve_forever` (the CLI) or drive requests externally while
+    the server thread runs (tests); finally :meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        executor: "Callable[[JobSpec, Callable[[str], None]], str] | None" = None,
+        log: "Callable[[str], None] | None" = None,
+    ) -> None:
+        """Assemble the service; ``executor`` overrides the subprocess seam."""
+        self.config = config
+        self.store = DirJobStore(config.store_dir)
+        self.log = log or (lambda message: None)
+        if executor is None:
+            executor_cls = InlineExecutor if config.inline else SubprocessExecutor
+            executor = executor_cls(self.store.cache_dir)
+        self._single_flight = SingleFlight(self.store)
+        self.pool = WorkerPool(self.store, jobs=config.jobs, executor=executor)
+        self._httpd: "_Server | None" = None
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def port(self) -> int:
+        """The realised TCP port (useful when configured with port 0)."""
+        if self._httpd is None:
+            raise ConfigurationError("service is not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The service's base URL."""
+        return f"http://{self.config.host}:{self.port}"
+
+    def submit(self, payload: object) -> Submission:
+        """Normalize + dedupe one submission; enqueue it if it must run."""
+        spec = JobSpec.normalize(payload)
+        submission = self._single_flight.submit(spec)
+        if submission.needs_execution:
+            self.pool.submit(submission.record.job_id)
+        return submission
+
+    def start(self) -> None:
+        """Recover the store, start the pool, and bind the HTTP socket.
+
+        Recovery runs *before* the socket opens: orphaned ``running``
+        jobs are re-queued (or completed from the shared result store),
+        so a client polling across a restart never observes a job that
+        nobody owns.
+        """
+        for job_id in self.store.recover():
+            self.pool.submit(job_id)
+        self.pool.start()
+        self._httpd = _Server(
+            (self.config.host, self.config.port), _Handler, self
+        )
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` (or interrupt)."""
+        if self._httpd is None:
+            self.start()
+        assert self._httpd is not None
+        self._httpd.serve_forever(poll_interval=0.2)
+
+    def start_background(self) -> None:
+        """Serve from a daemon thread (the test-fixture entry point)."""
+        if self._httpd is None:
+            self.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        """Stop accepting requests, then stop the worker pool."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.pool.stop()
+
+
+def create_server(
+    config: ServiceConfig,
+    *,
+    executor: "Callable[[JobSpec, Callable[[str], None]], str] | None" = None,
+    log: "Callable[[str], None] | None" = None,
+) -> JobService:
+    """Build and start a :class:`JobService` (socket bound, pool running).
+
+    The one-call entry point the ``serve`` CLI and the test fixture
+    share; raises :class:`ConfigurationError` for unusable
+    configurations (bad store dir, non-positive pool size) before
+    binding anything.
+    """
+    service = JobService(config, executor=executor, log=log)
+    try:
+        service.start()
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot bind {config.host}:{config.port}: {error}"
+        ) from None
+    return service

@@ -1,0 +1,108 @@
+"""Single-flight submission: one execution per identity key, ever.
+
+The dedupe layer sits between the HTTP handler and the store.  Every
+submission is keyed by :meth:`~repro.service.jobs.JobSpec.identity_key`
+— the same content identity the on-disk result caches use — and three
+outcomes are possible, in order of preference:
+
+1. **Attach**: a live or completed job already owns the key → the
+   caller gets that job's id.  Concurrent identical submissions
+   therefore collapse onto one execution (the single-flight guarantee),
+   and later identical submissions are pure lookups.
+2. **Replay**: no usable job owns the key but the shared result store
+   already holds the key's document (e.g. the job index was pruned, or
+   another store produced it) → a new job is created *directly in state
+   ``done``*, pointing at the existing document, without ever entering
+   the worker queue.
+3. **Execute**: the key is genuinely new → a ``queued`` job is created
+   and handed to the worker pool.
+
+Failed jobs never satisfy an attach — resubmitting an identical payload
+after a failure retries the computation (and rebinds the key to the
+fresh attempt).
+
+The in-process lock makes the check-then-create sequence atomic against
+the server's own HTTP threads; the on-disk index makes the decision
+durable across restarts.  Determinism is what makes all of this sound:
+identical specs produce byte-identical result documents (the engine's
+bit-identical invariant surfaced at the service boundary), so sharing a
+result between submitters is indistinguishable from recomputing it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .jobs import JobSpec
+from .store import JobRecord, JobStore
+
+__all__ = ["Submission", "SingleFlight"]
+
+
+class Submission:
+    """The outcome of one submission: the owning job, and how it was got.
+
+    Attributes
+    ----------
+    record:
+        The :class:`~repro.service.store.JobRecord` that owns the
+        submission's identity key.
+    deduped:
+        True when the caller attached to a pre-existing job instead of
+        creating one.
+    needs_execution:
+        True when the caller must hand the job to the worker pool (a
+        fresh job that was not satisfied straight from the result
+        store).
+    """
+
+    def __init__(
+        self, record: JobRecord, *, deduped: bool, needs_execution: bool
+    ) -> None:
+        """Bundle the submission outcome (see class attributes)."""
+        self.record = record
+        self.deduped = deduped
+        self.needs_execution = needs_execution
+
+
+class SingleFlight:
+    """The dedupe gate: serializes submissions per identity key."""
+
+    def __init__(self, store: JobStore) -> None:
+        """Wrap ``store`` with single-flight submission semantics."""
+        self._store = store
+        self._lock = threading.Lock()
+
+    def submit(self, spec: JobSpec) -> Submission:
+        """Resolve one submission to a job: attach, replay, or create.
+
+        See the module docstring for the decision order.  The returned
+        :class:`Submission` tells the caller whether the worker pool
+        still needs to see the job.
+        """
+        key = spec.identity_key()
+        with self._lock:
+            existing_id = self._store.find_by_key(key)
+            if existing_id is not None:
+                try:
+                    record = self._store.get(existing_id)
+                except KeyError:
+                    record = None  # index points at a pruned job dir
+                if record is not None and record.state != "failed":
+                    return Submission(
+                        record, deduped=True, needs_execution=False
+                    )
+            record = self._store.create(spec, key)
+            self._store.bind_key(key, record.job_id)
+            if self._store.has_result(key):
+                # The shared result store already has this computation —
+                # complete the job instantly, bypassing the queue.
+                ref = self._store.result_ref(key)
+                record = self._store.set_state(
+                    record.job_id,
+                    "done",
+                    result_ref=ref,
+                    detail="replayed from the shared result store",
+                )
+                return Submission(record, deduped=False, needs_execution=False)
+            return Submission(record, deduped=False, needs_execution=True)

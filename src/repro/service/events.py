@@ -1,0 +1,171 @@
+"""Append-only NDJSON event logs: one file per job, tail-able while live.
+
+Every job carries an event log recording its state transitions and the
+progress messages relayed from its worker — the backing store of the
+``GET /v1/jobs/<id>/events`` NDJSON stream.  The log is deliberately
+primitive: one JSON object per line, appended with a flush, never
+rewritten.  A crash mid-append leaves at most one torn final line, which
+:meth:`EventLog.read` silently skips (the next append starts a fresh
+line, so a torn tail never wedges the log).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, Mapping
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One job event: a monotonically numbered, timestamped message.
+
+    Attributes
+    ----------
+    seq:
+        1-based position in the job's event log; streaming clients use
+        it as their resume cursor.
+    time:
+        Unix timestamp of the append (wall clock; informational only —
+        nothing simulated derives from it).
+    kind:
+        ``"state"`` for lifecycle transitions, ``"progress"`` for
+        messages relayed from the worker's progress callback.
+    message:
+        The event text (for ``"state"`` events, the new state, plus an
+        optional detail suffix).
+    """
+
+    seq: int
+    time: float
+    kind: str
+    message: str
+
+    def to_dict(self) -> dict:
+        """JSON-able dict form (one NDJSON line when serialized)."""
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "kind": self.kind,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Event":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            seq=int(payload["seq"]),
+            time=float(payload["time"]),
+            kind=str(payload["kind"]),
+            message=str(payload["message"]),
+        )
+
+    def to_line(self) -> str:
+        """The event as one newline-terminated NDJSON line."""
+        return json.dumps(self.to_dict(), sort_keys=True) + "\n"
+
+
+class EventLog:
+    """An append-only NDJSON event file with a live ``follow`` tail.
+
+    Appends are serialized by an internal lock (the HTTP threads and the
+    worker dispatcher share one log per job); reads take no lock — they
+    see a prefix of the log, which is all a streaming client needs.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        """Open (or create lazily) the log at ``path``."""
+        self._path = Path(path)
+        self._lock = threading.Lock()
+        self._seq = len(self.read())
+
+    @property
+    def path(self) -> Path:
+        """Location of the backing NDJSON file."""
+        return self._path
+
+    def append(self, kind: str, message: str) -> Event:
+        """Append one event and flush it to disk; returns the event.
+
+        If the file ends mid-line (a torn tail from an interrupted
+        append), a newline is written first so the fresh event never
+        merges into the unparseable fragment.
+        """
+        with self._lock:
+            self._seq += 1
+            event = Event(
+                seq=self._seq, time=time.time(), kind=kind, message=message
+            )
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            line = event.to_line()
+            if self._torn_tail():
+                line = "\n" + line
+            with open(self._path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+            return event
+
+    def _torn_tail(self) -> bool:
+        """Whether the file ends mid-line (interrupted previous append)."""
+        try:
+            with open(self._path, "rb") as handle:
+                handle.seek(-1, 2)
+                return handle.read(1) != b"\n"
+        except (OSError, ValueError):
+            return False  # missing or empty file: nothing torn
+
+    def read(self, after_seq: int = 0) -> list[Event]:
+        """All fully written events with ``seq > after_seq``, in order.
+
+        A torn final line (crash mid-append) is skipped, not raised.
+        """
+        try:
+            text = self._path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        events = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                event = Event.from_dict(json.loads(line))
+            except (ValueError, KeyError, TypeError):
+                continue  # torn tail from an interrupted append
+            if event.seq > after_seq:
+                events.append(event)
+        return events
+
+    def follow(
+        self,
+        *,
+        after_seq: int = 0,
+        finished: Callable[[], bool],
+        poll_interval: float = 0.05,
+        timeout: float = 600.0,
+    ) -> Iterator[Event]:
+        """Yield events live until ``finished()`` holds and the log is drained.
+
+        The generator first replays everything after ``after_seq``, then
+        polls the file for new lines.  It stops once ``finished()``
+        returns true *and* no unread events remain (a final check runs
+        after the terminal state, so the closing ``state`` event is never
+        dropped), or after ``timeout`` seconds as a safety valve against
+        clients tailing a job that never ends.
+        """
+        cursor = after_seq
+        deadline = time.monotonic() + timeout
+        while True:
+            batch = self.read(after_seq=cursor)
+            for event in batch:
+                cursor = event.seq
+                yield event
+            if finished() and not self.read(after_seq=cursor):
+                return
+            if time.monotonic() >= deadline:
+                return
+            time.sleep(poll_interval)

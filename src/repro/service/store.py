@@ -1,0 +1,402 @@
+"""Job stores: the service's durable state, crash-safe by construction.
+
+A :class:`JobStore` holds everything the server must not lose across a
+restart: each job's spec, its state machine position (``queued →
+running → done | failed``), its event log, and a **shared,
+content-keyed result area** — results are stored once per identity key
+(``results/<key>.json``), and every job record merely points at its
+key's document, so a million deduplicated submissions share one file.
+
+:class:`DirJobStore` is the dir-backed implementation: every mutation
+is an atomic rename (write to ``*.tmp`` in the same directory, then
+``os.replace``), so a crash at any instant leaves either the old or the
+new document, never a torn one — the same discipline as
+:func:`repro.experiments.api.write_cache`.  The layout::
+
+    <root>/
+      jobs/<job_id>/spec.json     # written once at submit
+      jobs/<job_id>/state.json    # the state-machine record, atomically replaced
+      jobs/<job_id>/events.ndjson # append-only event log
+      results/<key>.json          # one shared document per identity key
+      index/<key>                 # identity key -> job_id (the dedupe index)
+      cache/                      # the per-experiment/point result cache
+                                  # workers thread through api.run/sweeps.run
+
+The protocol keeps the store swappable (a Redis-backed implementation
+would map jobs to hashes, events to streams, and the index to plain
+keys) without touching the HTTP or worker layers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Protocol
+
+from ..errors import ConfigurationError
+from .events import Event, EventLog
+from .jobs import JobSpec
+
+__all__ = ["JOB_STATES", "TERMINAL_STATES", "JobRecord", "JobStore", "DirJobStore"]
+
+#: The job state machine, in lifecycle order.
+JOB_STATES: tuple[str, ...] = ("queued", "running", "done", "failed")
+
+#: States a job never leaves.
+TERMINAL_STATES: tuple[str, ...] = ("done", "failed")
+
+
+@dataclass
+class JobRecord:
+    """One job's full state: spec, lifecycle position, result pointer.
+
+    Attributes
+    ----------
+    job_id:
+        Opaque identifier assigned at submit.
+    key:
+        The spec's identity key (see :meth:`~repro.service.jobs.JobSpec.
+        identity_key`); jobs sharing a key share a result document.
+    spec:
+        The normalized :class:`~repro.service.jobs.JobSpec`.
+    state:
+        Current :data:`JOB_STATES` entry.
+    error:
+        ``{"type", "message"}`` payload for failed jobs, else ``None``.
+    created, started, finished:
+        Unix timestamps of the lifecycle transitions (``None`` until
+        reached); informational only.
+    result_ref:
+        Store-relative pointer to the shared result document once the
+        job is done (e.g. ``"results/<key>.json"``), else ``None``.
+    """
+
+    job_id: str
+    key: str
+    spec: JobSpec
+    state: str = "queued"
+    error: "dict | None" = None
+    created: float = field(default_factory=time.time)
+    started: "float | None" = None
+    finished: "float | None" = None
+    result_ref: "str | None" = None
+
+    def to_state_dict(self) -> dict:
+        """The ``state.json`` document (everything but the spec)."""
+        return {
+            "job_id": self.job_id,
+            "key": self.key,
+            "kind": self.spec.kind,
+            "state": self.state,
+            "error": self.error,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "result_ref": self.result_ref,
+        }
+
+    def to_public_dict(self) -> dict:
+        """The ``GET /v1/jobs/<id>`` response body (state + spec payload)."""
+        public = self.to_state_dict()
+        public["spec"] = self.spec.to_dict()
+        return public
+
+
+class JobStore(Protocol):
+    """What the HTTP and worker layers need from a store implementation.
+
+    Implementations must make every mutation durable before returning
+    and must tolerate concurrent calls from the HTTP threads and the
+    worker dispatchers (the dir-backed store serializes mutations behind
+    one lock; a networked store would lean on its backend's atomicity).
+    """
+
+    def create(self, spec: JobSpec, key: str) -> JobRecord:
+        """Persist a new job in state ``queued`` and return its record."""
+        ...
+
+    def get(self, job_id: str) -> JobRecord:
+        """Load one job; raises :class:`KeyError` for unknown ids."""
+        ...
+
+    def list_jobs(self) -> list[JobRecord]:
+        """All jobs, oldest first."""
+        ...
+
+    def set_state(
+        self,
+        job_id: str,
+        state: str,
+        *,
+        error: "dict | None" = None,
+        result_ref: "str | None" = None,
+        detail: "str | None" = None,
+    ) -> JobRecord:
+        """Transition a job, record timestamps, and append a state event."""
+        ...
+
+    def append_event(self, job_id: str, kind: str, message: str) -> Event:
+        """Append one event to a job's log."""
+        ...
+
+    def events(self, job_id: str) -> EventLog:
+        """The job's event log (shared instance per job id)."""
+        ...
+
+    def put_result(self, key: str, document: str) -> str:
+        """Store a result document under its identity key; returns the ref."""
+        ...
+
+    def load_result(self, ref: str) -> str:
+        """Read a stored result document by its ref."""
+        ...
+
+    def has_result(self, key: str) -> bool:
+        """Whether a result document already exists for ``key``."""
+        ...
+
+    def result_ref(self, key: str) -> str:
+        """The ref a result for ``key`` is (or would be) stored under."""
+        ...
+
+    def find_by_key(self, key: str) -> "str | None":
+        """The job id bound to an identity key, if any."""
+        ...
+
+    def bind_key(self, key: str, job_id: str) -> None:
+        """Bind an identity key to a job id (the dedupe index)."""
+        ...
+
+    def recover(self) -> list[str]:
+        """Repair state after a restart; returns job ids to (re-)enqueue."""
+        ...
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via tmp-file + rename (crash-safe)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    tmp.replace(path)
+
+
+class DirJobStore:
+    """The dir-backed :class:`JobStore`: plain files, atomic renames.
+
+    Safe for one server process (mutations serialize behind an internal
+    lock); the on-disk layout is the durable contract a future
+    multi-node store would replicate.
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        """Create (or open) a store rooted at ``root``.
+
+        An unusable root — an existing file, missing permissions —
+        raises a one-line :class:`ConfigurationError`, so the ``serve``
+        CLI folds it into the standard exit-2 diagnostic path.
+        """
+        self.root = Path(root)
+        self._lock = threading.RLock()
+        self._logs: dict[str, EventLog] = {}
+        try:
+            for sub in ("jobs", "results", "index", "cache"):
+                (self.root / sub).mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot initialise job store at {self.root}: "
+                f"{' '.join(str(error).split())}"
+            ) from None
+
+    @property
+    def cache_dir(self) -> Path:
+        """The experiment/sweep result cache workers thread through."""
+        return self.root / "cache"
+
+    def _job_dir(self, job_id: str) -> Path:
+        """The directory holding one job's documents."""
+        return self.root / "jobs" / job_id
+
+    def create(self, spec: JobSpec, key: str) -> JobRecord:
+        """Persist a new ``queued`` job (spec first, then state) atomically."""
+        record = JobRecord(job_id=uuid.uuid4().hex[:12], key=key, spec=spec)
+        with self._lock:
+            job_dir = self._job_dir(record.job_id)
+            _atomic_write(
+                job_dir / "spec.json",
+                json.dumps(spec.to_dict(), indent=2, sort_keys=True),
+            )
+            self._write_state(record)
+            self.append_event(record.job_id, "state", "queued")
+        return record
+
+    def _write_state(self, record: JobRecord) -> None:
+        """Atomically replace a job's ``state.json``."""
+        _atomic_write(
+            self._job_dir(record.job_id) / "state.json",
+            json.dumps(record.to_state_dict(), indent=2, sort_keys=True),
+        )
+
+    def _load(self, job_id: str) -> JobRecord:
+        """Read one job's spec + state documents into a record."""
+        job_dir = self._job_dir(job_id)
+        try:
+            spec_doc = json.loads((job_dir / "spec.json").read_text())
+            state_doc = json.loads((job_dir / "state.json").read_text())
+        except (OSError, ValueError) as error:
+            raise KeyError(f"unknown or unreadable job {job_id!r}: {error}")
+        return JobRecord(
+            job_id=job_id,
+            key=state_doc["key"],
+            spec=JobSpec.from_dict(spec_doc),
+            state=state_doc["state"],
+            error=state_doc.get("error"),
+            created=state_doc.get("created", 0.0),
+            started=state_doc.get("started"),
+            finished=state_doc.get("finished"),
+            result_ref=state_doc.get("result_ref"),
+        )
+
+    def get(self, job_id: str) -> JobRecord:
+        """Load one job; raises :class:`KeyError` for unknown ids."""
+        with self._lock:
+            return self._load(job_id)
+
+    def list_jobs(self) -> list[JobRecord]:
+        """All jobs, oldest first (by creation timestamp, then id)."""
+        with self._lock:
+            records = []
+            jobs_dir = self.root / "jobs"
+            for entry in jobs_dir.iterdir() if jobs_dir.is_dir() else ():
+                if not entry.is_dir():
+                    continue
+                try:
+                    records.append(self._load(entry.name))
+                except KeyError:
+                    continue  # half-created job dir from a crash mid-submit
+        return sorted(records, key=lambda record: (record.created, record.job_id))
+
+    def set_state(
+        self,
+        job_id: str,
+        state: str,
+        *,
+        error: "dict | None" = None,
+        result_ref: "str | None" = None,
+        detail: "str | None" = None,
+    ) -> JobRecord:
+        """Transition a job's state machine and log the transition.
+
+        ``running`` stamps ``started``; terminal states stamp
+        ``finished``.  The state event's message is the new state, plus
+        ``detail`` (or the error message, for failures) after a colon.
+        """
+        if state not in JOB_STATES:
+            raise ConfigurationError(f"unknown job state {state!r}")
+        with self._lock:
+            record = self._load(job_id)
+            record.state = state
+            if state == "running":
+                record.started = time.time()
+            if state in TERMINAL_STATES:
+                record.finished = time.time()
+            if error is not None:
+                record.error = error
+            if result_ref is not None:
+                record.result_ref = result_ref
+            self._write_state(record)
+            message = state
+            if detail is None and error is not None:
+                detail = f"{error.get('type', 'Error')}: {error.get('message', '')}"
+            if detail:
+                message = f"{state}: {detail}"
+            self.append_event(job_id, "state", message)
+        return record
+
+    def append_event(self, job_id: str, kind: str, message: str) -> Event:
+        """Append one event to the job's NDJSON log."""
+        return self.events(job_id).append(kind, message)
+
+    def events(self, job_id: str) -> EventLog:
+        """The job's event log (one shared :class:`EventLog` per id)."""
+        with self._lock:
+            log = self._logs.get(job_id)
+            if log is None:
+                log = EventLog(self._job_dir(job_id) / "events.ndjson")
+                self._logs[job_id] = log
+            return log
+
+    def _result_path(self, key: str) -> Path:
+        """Where ``key``'s shared result document lives."""
+        return self.root / "results" / f"{key}.json"
+
+    def put_result(self, key: str, document: str) -> str:
+        """Atomically store a result document; returns its store-relative ref."""
+        path = self._result_path(key)
+        _atomic_write(path, document)
+        return str(path.relative_to(self.root))
+
+    def load_result(self, ref: str) -> str:
+        """Read a result document by the ref recorded on the job."""
+        return (self.root / ref).read_text(encoding="utf-8")
+
+    def has_result(self, key: str) -> bool:
+        """Whether ``key``'s shared result document exists."""
+        return self._result_path(key).is_file()
+
+    def result_ref(self, key: str) -> str:
+        """The store-relative ref ``key``'s document lives under."""
+        return str(self._result_path(key).relative_to(self.root))
+
+    def find_by_key(self, key: str) -> "str | None":
+        """Look up the dedupe index; ``None`` when the key is unbound."""
+        try:
+            return (self.root / "index" / key).read_text(encoding="utf-8").strip()
+        except OSError:
+            return None
+
+    def bind_key(self, key: str, job_id: str) -> None:
+        """Atomically bind ``key`` to ``job_id`` in the dedupe index."""
+        _atomic_write(self.root / "index" / key, job_id)
+
+    def recover(self) -> list[str]:
+        """Repair the state machine after a restart; return jobs to enqueue.
+
+        ``running`` jobs are orphans of the previous process: if their
+        key's result document exists the job completed but the state
+        write was lost — mark it ``done``; otherwise reset it to
+        ``queued`` for re-execution.  All ``queued`` jobs (recovered or
+        not) are returned oldest-first for the worker pool, so no job is
+        ever stranded in a non-terminal state without an owner.
+        """
+        to_enqueue: list[str] = []
+        with self._lock:
+            for record in self.list_jobs():
+                if record.state == "running":
+                    if self.has_result(record.key):
+                        self.set_state(
+                            record.job_id,
+                            "done",
+                            result_ref=self.result_ref(record.key),
+                            detail="recovered: result found after restart",
+                        )
+                    else:
+                        self.set_state(
+                            record.job_id,
+                            "queued",
+                            detail="recovered: re-queued after restart",
+                        )
+                        to_enqueue.append(record.job_id)
+                elif record.state == "queued":
+                    to_enqueue.append(record.job_id)
+        return to_enqueue
+
+    def counts(self) -> dict:
+        """Job totals per state (the health endpoint's summary)."""
+        totals = {state: 0 for state in JOB_STATES}
+        for record in self.list_jobs():
+            totals[record.state] = totals.get(record.state, 0) + 1
+        return totals

@@ -204,3 +204,73 @@ class TestLegacyShim:
         ctx = spec.make_context(profile="quick", seed=0)
         fresh = spec.execute(ctx)
         assert [t.render() for t in legacy] == [t.render() for t in fresh]
+
+
+class TestCacheHardening:
+    """`load_cached` repairs bad entries instead of wedging callers."""
+
+    def _entry(self, tmp_path):
+        api.run(["e01"], cache_dir=tmp_path)
+        [path] = tmp_path.glob("e01--*.json")
+        return path
+
+    def _load(self, path):
+        return api.load_cached(
+            path,
+            experiment_id="e01",
+            profile="quick",
+            seed=0,
+            backend_name=get_default_backend(),
+        )
+
+    def test_corrupt_entry_is_deleted(self, tmp_path):
+        path = self._entry(tmp_path)
+        path.write_text("{not json")
+        assert self._load(path) is None
+        assert not path.exists()  # repaired: the next writer starts clean
+
+    def test_truncated_entry_is_deleted(self, tmp_path):
+        path = self._entry(tmp_path)
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        assert self._load(path) is None
+        assert not path.exists()
+
+    def test_missing_file_is_a_plain_miss(self, tmp_path):
+        assert self._load(tmp_path / "absent.json") is None
+
+    def test_metadata_mismatch_keeps_the_file(self, tmp_path):
+        # A collision victim is another request's valid entry, not junk.
+        path = self._entry(tmp_path)
+        miss = api.load_cached(
+            path,
+            experiment_id="e01",
+            profile="other-profile",
+            seed=0,
+            backend_name=get_default_backend(),
+        )
+        assert miss is None
+        assert path.exists()
+
+
+class TestProgressAcrossProcesses:
+    """The progress callback survives the worker process boundary."""
+
+    def test_worker_messages_reach_the_callback(self):
+        messages: list[str] = []
+        api.run(["e01", "e03"], jobs=2, progress=messages.append)
+        # In-experiment reports from inside the spawn workers are relayed,
+        # not silently dropped (e01 reports mid-run via ctx.report).
+        assert any("combined-code layout assembled" in m for m in messages)
+        assert any(m.startswith("e01: done") for m in messages)
+        assert any(m.startswith("e03: done") for m in messages)
+
+    def test_context_pickles_without_callback(self):
+        import pickle
+
+        ctx = RunContext(
+            experiment_id="e01", profile="quick", seed=0,
+            progress=lambda message: None,
+        )
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert clone.progress is None
+        assert clone.experiment_id == "e01"

@@ -411,3 +411,55 @@ class TestSweepSubcommand:
         grid = load_grid(repo_root / "examples" / "sweep_grid.toml")
         assert len(grid.topologies) >= 3
         assert len(grid.sizes) >= 2 and len(grid.noises) >= 2
+
+
+class TestServeCLI:
+    def test_bad_pool_size_exits_2_one_line(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--store-dir", str(tmp_path / "store"), "--jobs", "0"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "jobs must be >= 1" in err
+        assert err.count("\n") == 1
+
+    def test_unusable_store_dir_exits_2_one_line(self, tmp_path, capsys):
+        blocker = tmp_path / "flat-file"
+        blocker.write_text("in the way")
+        code = main(["serve", "--store-dir", str(blocker)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot initialise job store")
+        assert err.count("\n") == 1
+
+    def test_store_dir_is_required(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve"])
+        assert excinfo.value.code == 2
+
+    def test_serve_boots_and_answers_health(self, tmp_path, capsys):
+        import json as json_module
+        import threading
+        import urllib.request
+
+        from repro.service import ServiceConfig, create_server
+
+        service = create_server(
+            ServiceConfig(
+                host="127.0.0.1",
+                port=0,
+                store_dir=tmp_path / "store",
+                jobs=1,
+                inline=True,
+            )
+        )
+        thread = threading.Thread(target=service.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with urllib.request.urlopen(f"{service.url}/v1/health") as response:
+                health = json_module.loads(response.read())
+            assert health["status"] == "ok"
+        finally:
+            service.shutdown()
+            thread.join(timeout=10)

@@ -1,0 +1,21 @@
+"""Shared fixtures for the service-layer tests: a live HTTP server.
+
+The ``live_service`` fixture boots a real :class:`JobService` on an
+ephemeral port with the in-thread ``InlineExecutor`` (fast, and it lets
+tests wrap the executor with counting spies); the helper client speaks
+plain :mod:`urllib`, so the tests add no dependencies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from svc_util import ServiceClient, make_service
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    """A started service + client over a fresh store; torn down after."""
+    service = make_service(tmp_path / "store")
+    yield ServiceClient(service)
+    service.shutdown()

@@ -1,0 +1,190 @@
+"""Tests for the dir-backed job store: durability, recovery, events."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import DirJobStore, JobSpec
+from repro.service.events import EventLog
+
+
+def make_spec(seed: int = 0) -> JobSpec:
+    """A tiny canonical experiment spec for store tests."""
+    return JobSpec.normalize(
+        {"kind": "experiment", "ids": ["e01"], "seed": seed}
+    )
+
+
+@pytest.fixture
+def store(tmp_path) -> DirJobStore:
+    """A fresh dir-backed store."""
+    return DirJobStore(tmp_path / "store")
+
+
+class TestLifecycle:
+    def test_create_then_get_round_trips(self, store):
+        spec = make_spec()
+        record = store.create(spec, spec.identity_key())
+        loaded = store.get(record.job_id)
+        assert loaded.spec == spec
+        assert loaded.state == "queued"
+        assert loaded.key == spec.identity_key()
+        assert loaded.result_ref is None
+
+    def test_unknown_id_raises_key_error(self, store):
+        with pytest.raises(KeyError):
+            store.get("nope")
+
+    def test_set_state_stamps_lifecycle_times(self, store):
+        record = store.create(make_spec(), "k1")
+        running = store.set_state(record.job_id, "running")
+        assert running.started is not None and running.finished is None
+        done = store.set_state(record.job_id, "done", result_ref="results/k1.json")
+        assert done.finished is not None
+        assert done.result_ref == "results/k1.json"
+
+    def test_failed_state_records_error_and_event(self, store):
+        record = store.create(make_spec(), "k1")
+        failed = store.set_state(
+            record.job_id,
+            "failed",
+            error={"type": "BoomError", "message": "kaboom"},
+        )
+        assert failed.error == {"type": "BoomError", "message": "kaboom"}
+        last = store.events(record.job_id).read()[-1]
+        assert last.kind == "state"
+        assert last.message == "failed: BoomError: kaboom"
+
+    def test_unknown_state_rejected(self, store):
+        record = store.create(make_spec(), "k1")
+        with pytest.raises(ConfigurationError):
+            store.set_state(record.job_id, "zombie")
+
+    def test_list_jobs_oldest_first_and_skips_debris(self, store):
+        first = store.create(make_spec(0), "a")
+        second = store.create(make_spec(1), "b")
+        # A half-created dir from a crash mid-submit must not break listing.
+        (store.root / "jobs" / "torn").mkdir()
+        listed = [record.job_id for record in store.list_jobs()]
+        assert listed == [first.job_id, second.job_id]
+
+    def test_counts_by_state(self, store):
+        a = store.create(make_spec(0), "a")
+        store.create(make_spec(1), "b")
+        store.set_state(a.job_id, "running")
+        assert store.counts() == {
+            "queued": 1, "running": 1, "done": 0, "failed": 0,
+        }
+
+
+class TestResultsAndIndex:
+    def test_results_are_shared_per_key(self, store):
+        ref = store.put_result("k1", '{"answer": 42}')
+        assert store.has_result("k1")
+        assert not store.has_result("k2")
+        assert store.load_result(ref) == '{"answer": 42}'
+        assert ref == store.result_ref("k1")
+
+    def test_bind_and_find(self, store):
+        assert store.find_by_key("k1") is None
+        store.bind_key("k1", "job-a")
+        assert store.find_by_key("k1") == "job-a"
+        store.bind_key("k1", "job-b")  # rebind (e.g. retry after failure)
+        assert store.find_by_key("k1") == "job-b"
+
+    def test_state_writes_are_atomic(self, store):
+        record = store.create(make_spec(), "k1")
+        state_path = store.root / "jobs" / record.job_id / "state.json"
+        # No .tmp litter once the write completes, and valid JSON on disk.
+        assert not list(state_path.parent.glob("*.tmp"))
+        assert json.loads(state_path.read_text())["state"] == "queued"
+
+
+class TestRecovery:
+    def test_orphaned_running_job_is_requeued(self, store):
+        record = store.create(make_spec(), "k1")
+        store.set_state(record.job_id, "running")
+        to_enqueue = store.recover()
+        assert to_enqueue == [record.job_id]
+        assert store.get(record.job_id).state == "queued"
+
+    def test_running_job_with_result_is_completed(self, store):
+        record = store.create(make_spec(), "k1")
+        store.set_state(record.job_id, "running")
+        store.put_result("k1", "[]")
+        assert store.recover() == []
+        recovered = store.get(record.job_id)
+        assert recovered.state == "done"
+        assert recovered.result_ref == store.result_ref("k1")
+
+    def test_queued_jobs_are_re_enqueued(self, store):
+        record = store.create(make_spec(), "k1")
+        assert store.recover() == [record.job_id]
+        assert store.get(record.job_id).state == "queued"
+
+    def test_terminal_jobs_are_untouched(self, store):
+        done = store.create(make_spec(0), "a")
+        store.set_state(done.job_id, "done", result_ref=store.put_result("a", "[]"))
+        failed = store.create(make_spec(1), "b")
+        store.set_state(
+            failed.job_id, "failed", error={"type": "X", "message": "y"}
+        )
+        assert store.recover() == []
+        assert store.get(done.job_id).state == "done"
+        assert store.get(failed.job_id).state == "failed"
+
+    def test_no_running_jobs_survive_recovery(self, store):
+        for seed in range(3):
+            record = store.create(make_spec(seed), f"k{seed}")
+            store.set_state(record.job_id, "running")
+        store.put_result("k1", "[]")
+        store.recover()
+        states = {record.state for record in store.list_jobs()}
+        assert "running" not in states
+
+
+class TestStoreErrors:
+    def test_unusable_root_is_a_configuration_error(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        with pytest.raises(ConfigurationError, match="cannot initialise"):
+            DirJobStore(blocker)
+
+
+class TestEventLog:
+    def test_append_read_round_trip(self, tmp_path):
+        log = EventLog(tmp_path / "events.ndjson")
+        log.append("state", "queued")
+        log.append("progress", "halfway")
+        events = log.read()
+        assert [(e.kind, e.message) for e in events] == [
+            ("state", "queued"), ("progress", "halfway"),
+        ]
+        assert [e.seq for e in events] == [1, 2]
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "events.ndjson"
+        log = EventLog(path)
+        log.append("state", "queued")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "time": 1.0, "ki')  # crash mid-append
+        assert [e.message for e in log.read()] == ["queued"]
+        # The next append starts a fresh line and the log keeps working.
+        EventLog(path).append("state", "running")
+        assert [e.message for e in EventLog(path).read()] == ["queued", "running"]
+
+    def test_read_after_cursor(self, tmp_path):
+        log = EventLog(tmp_path / "events.ndjson")
+        for n in range(4):
+            log.append("progress", f"step {n}")
+        assert [e.message for e in log.read(after_seq=2)] == ["step 2", "step 3"]
+
+    def test_follow_stops_when_finished_and_drained(self, tmp_path):
+        log = EventLog(tmp_path / "events.ndjson")
+        log.append("state", "queued")
+        log.append("state", "done")
+        seen = [e.message for e in log.follow(finished=lambda: True)]
+        assert seen == ["queued", "done"]

@@ -63,6 +63,12 @@ MODULES: tuple[str, ...] = (
     "repro.algorithms.vectorized_mis",
     "repro.algorithms.vectorized_basic",
     "repro.rng_philox",
+    "repro.service",
+    "repro.service.app",
+    "repro.service.jobs",
+    "repro.service.store",
+    "repro.service.dedupe",
+    "repro.service.events",
 )
 
 #: Shorter than this (after stripping) does not count as documentation.

@@ -1,0 +1,238 @@
+"""CI smoke for the job service: boot, submit over HTTP, verify bytes.
+
+Boots the real ``serve`` CLI (``python -m repro.experiments serve``) as
+a subprocess, then drives it over plain HTTP the way a user would:
+
+1. **Experiment job** — submit ``e02`` (quick) cold, poll to ``done``,
+   fetch the JSON document, and assert it is **byte-identical** to what
+   ``api.run`` serializes when replayed through the server's own shared
+   cache (elapsed replays from the cache entry, so the comparison is
+   exact, not fuzzy).
+2. **Sweep job** — pre-warm the point cache locally, capture a fully
+   replayed local ``sweeps.run`` document, submit the same 4-cell grid
+   over HTTP, and assert the served document matches byte for byte.
+   (Warm-vs-warm is the honest comparison: the per-point ``cached``
+   column is part of the document, so a cold and a warm run of the same
+   grid legitimately differ.)
+3. **Dedupe** — resubmit both payloads and assert the server attaches
+   to the existing jobs (``deduped: true``, same ids, same bytes).
+4. **Events** — fetch each job's NDJSON log and assert it brackets the
+   lifecycle (``queued`` first, ``done`` last, monotonic ``seq``).
+
+Artifacts (served documents, event logs, a summary) land in
+``--output`` for upload.  Stdlib only; exit 0 on success, 1 with a
+diagnostic on any mismatch.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py --output service-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+#: The 4-cell sweep grid submitted over HTTP (2 noises x 2 seeds).
+SWEEP_GRID = {
+    "topologies": ["expander"],
+    "sizes": [16],
+    "noises": [0.0, 0.05],
+    "seeds": [0, 1],
+    "rounds": 2,
+    "params": {"expander": {"degree": 3}},
+}
+
+EXPERIMENT_JOB = {"kind": "experiment", "ids": ["e02"], "profile": "quick", "seed": 0}
+
+
+def fail(message: str) -> "None":
+    """Print one diagnostic line and exit 1."""
+    print(f"service-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def http_json(url: str, payload: "dict | None" = None) -> dict:
+    """GET (or POST ``payload``) ``url`` and decode the JSON body."""
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, method="GET" if data is None else "POST"
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def http_bytes(url: str) -> bytes:
+    """GET ``url`` and return the raw body."""
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return response.read()
+
+
+def boot_server(store_dir: Path) -> "tuple[subprocess.Popen, str]":
+    """Start the serve CLI on an ephemeral port; return (process, base URL)."""
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments", "serve",
+            "--store-dir", str(store_dir), "--port", "0", "--jobs", "2",
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    banner = process.stderr.readline()
+    match = re.search(r"listening on (http://[\d.]+:\d+)", banner)
+    if match is None:
+        process.terminate()
+        fail(f"server did not report a listening address: {banner!r}")
+    base = match.group(1)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        try:
+            if http_json(f"{base}/v1/health")["status"] == "ok":
+                return process, base
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.1)
+    process.terminate()
+    fail("server never answered /v1/health")
+    raise AssertionError("unreachable")
+
+
+def wait_done(base: str, job_id: str, timeout: float = 300.0) -> dict:
+    """Poll one job until terminal; fail the smoke if it did not finish."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = http_json(f"{base}/v1/jobs/{job_id}")
+        if state["state"] == "done":
+            return state
+        if state["state"] == "failed":
+            fail(f"job {job_id} failed: {state['error']}")
+        time.sleep(0.2)
+    fail(f"job {job_id} did not finish within {timeout}s")
+    raise AssertionError("unreachable")
+
+
+def check_events(base: str, job_id: str) -> str:
+    """Fetch a job's NDJSON log and sanity-check the lifecycle bracket."""
+    body = http_bytes(f"{base}/v1/jobs/{job_id}/events?follow=0").decode()
+    events = [json.loads(line) for line in body.splitlines()]
+    if not events:
+        fail(f"job {job_id} has an empty event log")
+    messages = [event["message"] for event in events]
+    if messages[0] != "queued" or not messages[-1].startswith("done"):
+        fail(f"job {job_id} events do not bracket the lifecycle: {messages}")
+    if [event["seq"] for event in events] != list(range(1, len(events) + 1)):
+        fail(f"job {job_id} event sequence is not monotonic")
+    return body
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Run the smoke end to end; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        default="service-artifacts",
+        help="artifact directory (served documents, events, summary)",
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    store_dir = Path(tempfile.mkdtemp(prefix="service-smoke-"))
+    cache_dir = store_dir / "cache"
+
+    # The sweep comparison document: warm the point cache, then capture a
+    # fully replayed local run (every point cached) before the server ever
+    # sees the grid — its execution over the same cache replays too.
+    from repro import sweeps
+
+    sweeps.run(SWEEP_GRID, cache_dir=cache_dir)
+    local_sweep = sweeps.run(SWEEP_GRID, cache_dir=cache_dir).to_json()
+
+    process, base = boot_server(store_dir)
+    try:
+        # --- experiment job, cold over HTTP -------------------------------
+        submitted = http_json(f"{base}/v1/jobs", EXPERIMENT_JOB)
+        if submitted["deduped"]:
+            fail("cold experiment submission reported deduped")
+        wait_done(base, submitted["job_id"])
+        served = http_bytes(f"{base}/v1/jobs/{submitted['job_id']}/result")
+        (out / "experiment_served.json").write_bytes(served)
+        (out / "experiment_events.ndjson").write_text(
+            check_events(base, submitted["job_id"])
+        )
+
+        from repro.experiments import api
+
+        results = api.run(["e02"], seed=0, cache_dir=cache_dir)
+        if not all(result.cached for result in results):
+            fail("local replay missed the server's cache")
+        expected = json.dumps(
+            [result.to_dict() for result in results], indent=2
+        )
+        if served.decode("utf-8") != expected:
+            fail("served experiment JSON differs from api.run serialization")
+        print("service-smoke: experiment bytes match api.run", flush=True)
+
+        # --- sweep job over the pre-warmed cache --------------------------
+        sweep_submitted = http_json(
+            f"{base}/v1/jobs", {"kind": "sweep", "grid": SWEEP_GRID}
+        )
+        wait_done(base, sweep_submitted["job_id"])
+        sweep_served = http_bytes(
+            f"{base}/v1/jobs/{sweep_submitted['job_id']}/result"
+        )
+        (out / "sweep_served.json").write_bytes(sweep_served)
+        (out / "sweep_events.ndjson").write_text(
+            check_events(base, sweep_submitted["job_id"])
+        )
+        if sweep_served.decode("utf-8") != local_sweep:
+            fail("served sweep JSON differs from sweeps.run serialization")
+        print("service-smoke: sweep bytes match sweeps.run", flush=True)
+
+        # --- single-flight dedupe ----------------------------------------
+        for label, payload, job_id, first_bytes in (
+            ("experiment", EXPERIMENT_JOB, submitted["job_id"], served),
+            (
+                "sweep",
+                {"kind": "sweep", "grid": SWEEP_GRID},
+                sweep_submitted["job_id"],
+                sweep_served,
+            ),
+        ):
+            again = http_json(f"{base}/v1/jobs", payload)
+            if not again["deduped"] or again["job_id"] != job_id:
+                fail(f"{label} resubmission was not deduplicated: {again}")
+            refetched = http_bytes(f"{base}/v1/jobs/{again['job_id']}/result")
+            if refetched != first_bytes:
+                fail(f"{label} refetch returned different bytes")
+        print("service-smoke: identical resubmissions deduplicated", flush=True)
+
+        summary = {
+            "experiment_job": submitted["job_id"],
+            "sweep_job": sweep_submitted["job_id"],
+            "health": http_json(f"{base}/v1/health"),
+        }
+        (out / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    finally:
+        process.send_signal(signal.SIGINT)
+        try:
+            code = process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            fail("server did not shut down on SIGINT")
+    if code != 0:
+        fail(f"server exited with code {code}")
+    print(f"service-smoke: OK (artifacts in {out})", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
