@@ -16,10 +16,22 @@ other):
 """
 
 from .model import Action, BEEP, LISTEN
-from .noise import BernoulliNoise, NoiselessChannel, NoiseModel
+from .noise import (
+    AdversarialNoise,
+    BernoulliNoise,
+    DynamicTopology,
+    HeterogeneousNoise,
+    NoiselessChannel,
+    NoiseModel,
+    WindowedNoise,
+    make_noise_model,
+    noise_model_names,
+    parse_noise_model,
+    unreliable_zone,
+)
 from .node import BeepingProtocol, ScheduledProtocol
 from .network import BeepingNetwork, ExecutionTrace
-from .batch import run_schedule
+from .batch import run_schedule, run_schedule_batch
 from .primitives import BeepWaveResult, beep_wave_broadcast
 from .mis import BeepingMISProtocol, BeepingMISResult, beeping_mis
 
@@ -28,13 +40,22 @@ __all__ = [
     "BEEP",
     "LISTEN",
     "NoiseModel",
+    "WindowedNoise",
     "BernoulliNoise",
+    "HeterogeneousNoise",
+    "AdversarialNoise",
+    "DynamicTopology",
     "NoiselessChannel",
+    "unreliable_zone",
+    "make_noise_model",
+    "noise_model_names",
+    "parse_noise_model",
     "BeepingProtocol",
     "ScheduledProtocol",
     "BeepingNetwork",
     "ExecutionTrace",
     "run_schedule",
+    "run_schedule_batch",
     "BeepWaveResult",
     "beep_wave_broadcast",
     "BeepingMISProtocol",

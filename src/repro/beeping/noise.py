@@ -1,4 +1,4 @@
-"""Channel noise models for the beeping substrate.
+"""Channel noise models and dynamic-network scenarios for the beeping substrate.
 
 The noisy beeping model of Ashkenazi, Gelles and Leshem [4] flips each heard
 bit independently with probability ``ε ∈ (0, 1/2)``.  Per the paper's
@@ -6,6 +6,24 @@ Footnote 2 convention, a node "hears" its own beep as a 1, and in the noisy
 model that self-observation is flipped with probability ``ε`` as well — a
 simplification that only weakens the nodes, adopted here by default so
 measured failure rates are comparable to the analysis.
+
+Beyond the uniform :class:`BernoulliNoise` channel, this module is the
+**scenario layer**: heterogeneous per-node noise rates
+(:class:`HeterogeneousNoise`, :func:`unreliable_zone`), adversarial flip
+schedules that spend the same ε budget in concentrated bursts
+(:class:`AdversarialNoise`), and seeded node-churn / edge-failure
+schedules over a static topology (:class:`DynamicTopology`).
+
+**The window contract.**  Every noise model generates its flips one
+4096-round *window* at a time from a Philox stream keyed by
+``(seed, window index)``, and :class:`DynamicTopology` draws its per-epoch
+masks the same way — so the flips (or the active edge set) for round
+``t`` are a pure function of ``(seed, t, n)``.  They never depend on how
+rounds are batched, which backend executes them, how many replicas share
+a call, or how many shard workers split the nodes.  That is the single
+property that keeps the dense, bit-packed, replica-batched and sharded
+execution paths bit-identical under every scenario (property-tested in
+``tests/beeping/test_scenarios.py`` and ``tests/engine/``).
 """
 
 from __future__ import annotations
@@ -16,9 +34,22 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..lru import LRUDict
-from ..rng import derive_rng
+from ..rng import derive_rng, derive_seed
 
-__all__ = ["NoiseModel", "NoiselessChannel", "BernoulliNoise"]
+__all__ = [
+    "NoiseModel",
+    "NoiselessChannel",
+    "WindowedNoise",
+    "BernoulliNoise",
+    "HeterogeneousNoise",
+    "AdversarialNoise",
+    "DynamicTopology",
+    "unreliable_zone",
+    "make_channel",
+    "make_noise_model",
+    "noise_model_names",
+    "parse_noise_model",
+]
 
 
 class NoiseModel(ABC):
@@ -45,9 +76,11 @@ class NoiselessChannel(NoiseModel):
 
     @property
     def eps(self) -> float:
+        """Always 0: no bit is ever flipped."""
         return 0.0
 
     def apply(self, received: np.ndarray, round_index: int) -> np.ndarray:
+        """Return an unmodified boolean copy of ``received``."""
         return np.array(received, dtype=bool, copy=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -66,32 +99,30 @@ _WINDOW = 4096
 _WINDOW_CACHE_LIMIT = 4
 
 
-class BernoulliNoise(NoiseModel):
-    """The noisy beeping model: each heard bit flips with probability ``ε``.
+class WindowedNoise(NoiseModel):
+    """Shared machinery for window-keyed flip channels.
 
-    Flips are keyed by ``(seed, round)`` so executions are reproducible and
-    independent of how rounds are batched: applying rounds one at a time or
-    as a block yields the same flip pattern.
+    Subclasses implement :meth:`_window_flips` — the boolean
+    ``(_WINDOW, n)`` flip matrix of one window — from the per-window
+    Philox generator :meth:`_window_rng` provides; this base supplies the
+    1-D/2-D :meth:`apply`, the batched :meth:`flip_block`, and a small
+    per-``(window, n)`` LRU of generated windows.  Because every flip is
+    a pure function of ``(seed, round, n)``, any channel built on this
+    base automatically satisfies the window contract that keeps the
+    execution backends bit-identical.
     """
 
-    def __init__(self, eps: float, seed: int) -> None:
-        if not 0.0 < eps < 0.5:
-            raise ConfigurationError(
-                f"noisy beeping requires eps in (0, 1/2), got {eps} "
-                "(use NoiselessChannel for eps = 0)"
-            )
-        self._eps = eps
-        self._seed = seed
-        key_rng = derive_rng(seed, "beep-noise-key")
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+        key_rng = derive_rng(self._seed, "beep-noise-key")
         self._key = key_rng.integers(0, 2**63, size=2, dtype=np.uint64)
-        # Small LRU of recently generated windows, keyed by (window, n).
+        # Small LRU of recently generated windows, keyed by (window, n):
+        # two topologies of different sizes sharing one channel instance
+        # can never cross-contaminate, and re-querying an evicted window
+        # regenerates exactly the same flips (regression-tested).
         self._window_cache: LRUDict[tuple[int, int], np.ndarray] = LRUDict(
             _WINDOW_CACHE_LIMIT
         )
-
-    @property
-    def eps(self) -> float:
-        return self._eps
 
     @property
     def seed(self) -> int:
@@ -99,6 +130,7 @@ class BernoulliNoise(NoiseModel):
         return self._seed
 
     def apply(self, received: np.ndarray, round_index: int) -> np.ndarray:
+        """XOR the window-keyed flips into ``received`` (1-D or 2-D form)."""
         received = np.asarray(received, dtype=bool)
         if received.ndim == 1:
             n = received.shape[0]
@@ -113,8 +145,9 @@ class BernoulliNoise(NoiseModel):
         """The boolean ``(n, rounds)`` flip matrix starting at ``round_index``.
 
         This is the raw noise stream :meth:`apply` XORs in, exposed so the
-        bit-packed backend can pack the very same Philox flips into words —
-        the ``(seed, round)`` keying and window semantics are shared, which
+        bit-packed backend can pack the very same Philox flips into words
+        and shard workers can slice their local nodes' rows — the
+        ``(seed, round)`` keying and window semantics are shared, which
         is what makes the backends bit-identical under noise.
         """
         flips = np.empty((n, rounds), dtype=bool)
@@ -129,21 +162,380 @@ class BernoulliNoise(NoiseModel):
             position += take
         return flips
 
+    def _window_rng(self, window: int) -> np.random.Generator:
+        """The Philox generator for one window, counter-keyed by its index."""
+        bit_generator = np.random.Philox(
+            key=self._key, counter=[0, 0, np.uint64(window), 0]
+        )
+        return np.random.Generator(bit_generator)
+
     def _window_block(self, window: int, n: int) -> np.ndarray:
-        """The ``( _WINDOW, n)`` flip matrix for one window of rounds."""
+        """The ``(_WINDOW, n)`` flip matrix for one window, LRU-cached."""
         cache_key = (window, n)
         block = self._window_cache.get(cache_key)
         if block is None:
-            bit_generator = np.random.Philox(
-                key=self._key, counter=[0, 0, np.uint64(window), 0]
-            )
-            rng = np.random.Generator(bit_generator)
-            block = rng.random((_WINDOW, n)) < self._eps
+            block = self._window_flips(window, n)
             self._window_cache[cache_key] = block
         return block
 
+    @abstractmethod
+    def _window_flips(self, window: int, n: int) -> np.ndarray:
+        """Generate the boolean ``(_WINDOW, n)`` flip matrix of one window."""
+
+
+class BernoulliNoise(WindowedNoise):
+    """The noisy beeping model: each heard bit flips with probability ``ε``.
+
+    Flips are keyed by ``(seed, round)`` so executions are reproducible and
+    independent of how rounds are batched: applying rounds one at a time or
+    as a block yields the same flip pattern.
+    """
+
+    def __init__(self, eps: float, seed: int) -> None:
+        if not 0.0 < eps < 0.5:
+            raise ConfigurationError(
+                f"noisy beeping requires eps in (0, 1/2), got {eps} "
+                "(use NoiselessChannel for eps = 0)"
+            )
+        self._eps = eps
+        super().__init__(seed)
+
+    @property
+    def eps(self) -> float:
+        """The uniform per-bit flip probability."""
+        return self._eps
+
+    def _window_flips(self, window: int, n: int) -> np.ndarray:
+        """One window of iid Bernoulli(ε) flips (uniform draws < ε)."""
+        return self._window_rng(window).random((_WINDOW, n)) < self._eps
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BernoulliNoise(eps={self._eps}, seed={self._seed})"
+
+
+class HeterogeneousNoise(WindowedNoise):
+    """Per-node flip probabilities: node ``v`` hears through ε = ``eps_vector[v]``.
+
+    Models heterogeneous networks whose devices differ in radio
+    reliability: each heard bit of node ``v`` flips independently with
+    that node's own rate.  The flips come from the same per-window
+    uniform Philox stream as :class:`BernoulliNoise`, thresholded per
+    column — so the window contract holds and the channel is pinned to
+    the ``n = len(eps_vector)`` it was built for (applying it to any
+    other width is a configuration error, never silent recycling).
+    """
+
+    def __init__(self, eps_vector, seed: int) -> None:
+        vector = np.asarray(eps_vector, dtype=np.float64)
+        if vector.ndim != 1 or vector.shape[0] == 0:
+            raise ConfigurationError(
+                "heterogeneous noise needs a non-empty 1-D eps vector, "
+                f"got shape {vector.shape}"
+            )
+        if np.any(vector < 0.0) or np.any(vector >= 0.5):
+            raise ConfigurationError(
+                "heterogeneous noise requires every per-node eps in [0, 1/2); "
+                f"offending values include {vector[(vector < 0) | (vector >= 0.5)][:3]}"
+            )
+        self._eps_vector = vector
+        self._eps_vector.setflags(write=False)
+        super().__init__(seed)
+
+    @property
+    def eps(self) -> float:
+        """The mean per-node flip probability (the channel's ε budget)."""
+        return float(self._eps_vector.mean())
+
+    @property
+    def eps_vector(self) -> np.ndarray:
+        """The read-only per-node flip-probability vector."""
+        return self._eps_vector
+
+    @property
+    def num_nodes(self) -> int:
+        """The node count this channel is pinned to."""
+        return int(self._eps_vector.shape[0])
+
+    def _window_flips(self, window: int, n: int) -> np.ndarray:
+        """One window of per-node Bernoulli(ε_v) flips (uniforms < ε_v)."""
+        if n != self.num_nodes:
+            raise ConfigurationError(
+                f"heterogeneous channel built for {self.num_nodes} nodes "
+                f"applied to {n}"
+            )
+        return self._window_rng(window).random((_WINDOW, n)) < self._eps_vector[
+            None, :
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeterogeneousNoise(n={self.num_nodes}, "
+            f"mean_eps={self.eps:.4g}, seed={self._seed})"
+        )
+
+
+class AdversarialNoise(WindowedNoise):
+    """Worst-case flips within the per-window ε budget.
+
+    Spends the same expected flip budget as Bernoulli(ε) — at most
+    ``floor(ε · 4096 · n)`` flips per window — but concentrates it into
+    *whole-round bursts*: seeded rounds of the window have every node's
+    heard bit inverted at once (plus one partial round for the budget
+    remainder).  A fully inverted round maximally perturbs every node's
+    heard count simultaneously, which is exactly what the Lemma 9
+    threshold test and the phase-2 distance margins average away under
+    iid noise — so this channel probes where the decision margins break
+    rather than degrade.
+
+    The burst placement is a pure function of ``(seed, window, n)``
+    (never of the transmitted bits), so the window contract — and with
+    it the bit-identity of every execution path — is preserved.
+    """
+
+    def __init__(self, eps: float, seed: int) -> None:
+        if not 0.0 < eps < 0.5:
+            raise ConfigurationError(
+                f"adversarial noise requires eps in (0, 1/2), got {eps} "
+                "(use NoiselessChannel for eps = 0)"
+            )
+        self._eps = eps
+        super().__init__(seed)
+
+    @property
+    def eps(self) -> float:
+        """The per-window flip budget, expressed as the equivalent ε rate."""
+        return self._eps
+
+    def _window_flips(self, window: int, n: int) -> np.ndarray:
+        """One window of budgeted full-round bursts at seeded positions."""
+        block = np.zeros((_WINDOW, n), dtype=bool)
+        budget = int(self._eps * _WINDOW * n)
+        if budget == 0:
+            return block
+        rng = self._window_rng(window)
+        full, remainder = divmod(budget, n)
+        # Seeded burst placement via argsort of uniforms: deterministic
+        # given the Philox stream, and eps < 1/2 bounds full below
+        # _WINDOW / 2, so there is always room for the partial round.
+        round_order = np.argsort(rng.random(_WINDOW), kind="stable")
+        block[round_order[:full]] = True
+        if remainder:
+            node_order = np.argsort(rng.random(n), kind="stable")
+            block[round_order[full], node_order[:remainder]] = True
+        return block
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdversarialNoise(eps={self._eps}, seed={self._seed})"
+
+
+def unreliable_zone(
+    n: int,
+    *,
+    frac: float,
+    eps_hot: float,
+    eps_cold: float,
+    seed: int,
+) -> HeterogeneousNoise:
+    """A two-level heterogeneous profile: a seeded hot zone in a cold network.
+
+    ``round(frac * n)`` nodes (at least one, chosen by a seeded
+    permutation) hear through ``eps_hot``; every other node hears through
+    ``eps_cold``.  The hot-node subset depends only on ``(seed, n)``, so
+    the profile is reproducible across processes and backends.
+    """
+    if not isinstance(n, (int, np.integer)) or isinstance(n, bool) or n < 1:
+        raise ConfigurationError(f"unreliable_zone needs n >= 1, got {n!r}")
+    if not 0.0 <= frac <= 1.0:
+        raise ConfigurationError(
+            f"unreliable_zone frac must be in [0, 1], got {frac}"
+        )
+    for name, value in (("eps_hot", eps_hot), ("eps_cold", eps_cold)):
+        if not 0.0 <= value < 0.5:
+            raise ConfigurationError(
+                f"unreliable_zone {name} must be in [0, 1/2), got {value}"
+            )
+    hot_count = min(int(n), max(1, int(round(frac * n)))) if frac > 0 else 0
+    vector = np.full(int(n), eps_cold, dtype=np.float64)
+    if hot_count:
+        order = derive_rng(seed, "unreliable-zone", int(n)).permutation(int(n))
+        vector[order[:hot_count]] = eps_hot
+    return HeterogeneousNoise(vector, seed=seed)
+
+
+class DynamicTopology:
+    """A seeded node-churn / edge-failure schedule over a static topology.
+
+    Rounds are grouped into *epochs* of ``period`` beeping rounds; for
+    each epoch a Philox draw keyed by ``(seed, epoch)`` marks a set of
+    down nodes (probability ``churn`` each — a down node's radio is off,
+    masking every incident edge while the node keeps listening to
+    silence) and independently failed edges (probability
+    ``edge_failure`` each).  :meth:`topology_at` materialises the masked
+    epoch as an ordinary static :class:`~repro.graphs.Topology` (LRU
+    cached), which is how the executors consume it: the schedule runner
+    segments executions at epoch boundaries and hands each segment a
+    static topology, so **no backend ever sees the wrapper** and the
+    bit-identity of dense / bit-packed / batched / sharded execution
+    extends to dynamic networks for free.
+
+    The mask for round ``t`` depends only on ``(seed, t // period, n)``
+    — the window contract again — never on how the surrounding rounds
+    are batched.  Node and edge counts, and the degree bound ``Δ``, are
+    reported from the *base* topology (masking only removes edges), so
+    parameter sizing against the wrapper stays conservative.
+    """
+
+    #: Masked epoch topologies kept resident per wrapper.
+    _EPOCH_CACHE_LIMIT = 8
+
+    def __init__(
+        self,
+        base,
+        *,
+        period: int,
+        churn: float = 0.0,
+        edge_failure: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if isinstance(base, DynamicTopology):
+            raise ConfigurationError("DynamicTopology cannot wrap another")
+        if (
+            not isinstance(period, (int, np.integer))
+            or isinstance(period, bool)
+            or period < 1
+        ):
+            raise ConfigurationError(
+                f"dynamic topology period must be an int >= 1, got {period!r}"
+            )
+        for name, value in (("churn", churn), ("edge_failure", edge_failure)):
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(
+                    f"dynamic topology {name} must be in [0, 1), got {value}"
+                )
+        self._base = base
+        self._period = int(period)
+        self._churn = float(churn)
+        self._edge_failure = float(edge_failure)
+        self._seed = int(seed)
+        key_rng = derive_rng(self._seed, "dynamic-topology-key")
+        self._key = key_rng.integers(0, 2**63, size=2, dtype=np.uint64)
+        # Canonical sorted (u, v) edge list of the base graph: the fixed
+        # order the per-epoch edge-failure draws index into.
+        self._edges = np.asarray(
+            sorted(tuple(sorted(edge)) for edge in base.graph.edges),
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        self._epoch_cache: LRUDict[int, object] = LRUDict(
+            self._EPOCH_CACHE_LIMIT
+        )
+
+    @property
+    def base(self):
+        """The unmasked static :class:`~repro.graphs.Topology`."""
+        return self._base
+
+    @property
+    def period(self) -> int:
+        """Beeping rounds per epoch (one mask draw per epoch)."""
+        return self._period
+
+    @property
+    def churn(self) -> float:
+        """Per-epoch probability that a node's radio is down."""
+        return self._churn
+
+    @property
+    def edge_failure(self) -> float:
+        """Per-epoch probability that an individual edge fails."""
+        return self._edge_failure
+
+    @property
+    def seed(self) -> int:
+        """The seed keying the churn/failure schedule."""
+        return self._seed
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count of the base topology (masking never removes nodes)."""
+        return self._base.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count of the *base* topology (the masked count varies)."""
+        return self._base.num_edges
+
+    @property
+    def max_degree(self) -> int:
+        """Degree bound ``Δ`` of the base topology (an upper bound per epoch)."""
+        return self._base.max_degree
+
+    def epoch_of(self, round_index: int) -> int:
+        """The epoch containing global beeping round ``round_index``."""
+        if round_index < 0:
+            raise ConfigurationError(
+                f"round_index must be >= 0, got {round_index}"
+            )
+        return round_index // self._period
+
+    def segments(self, start_round: int, rounds: int):
+        """Epoch-aligned ``(start, stop)`` global-round segments of a span.
+
+        Yields consecutive half-open intervals covering
+        ``[start_round, start_round + rounds)``, each contained in a
+        single epoch — the unit at which the schedule runners swap in
+        :meth:`topology_at` masks.
+        """
+        position = start_round
+        end = start_round + rounds
+        while position < end:
+            boundary = (self.epoch_of(position) + 1) * self._period
+            stop = min(boundary, end)
+            yield position, stop
+            position = stop
+
+    def topology_at(self, round_index: int):
+        """The masked static topology active during ``round_index``'s epoch."""
+        return self._epoch_topology(self.epoch_of(round_index))
+
+    def _epoch_topology(self, epoch: int):
+        """Materialise (and cache) the masked topology of one epoch."""
+        cached = self._epoch_cache.get(epoch)
+        if cached is not None:
+            return cached
+        from ..graphs import Topology  # local: avoids a package cycle at import
+
+        import networkx as nx
+
+        n = self.num_nodes
+        rng = np.random.Generator(
+            np.random.Philox(key=self._key, counter=[0, 0, np.uint64(epoch), 0])
+        )
+        # Draw order is fixed — nodes first, then edges — so each mask is
+        # a pure function of (seed, epoch, n) regardless of the rates.
+        node_down = rng.random(n) < self._churn
+        edge_down = rng.random(self._edges.shape[0]) < self._edge_failure
+        if self._edges.shape[0]:
+            keep = ~(
+                edge_down
+                | node_down[self._edges[:, 0]]
+                | node_down[self._edges[:, 1]]
+            )
+            kept_edges = self._edges[keep]
+        else:
+            kept_edges = self._edges
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(map(tuple, kept_edges))
+        topology = Topology(graph)
+        self._epoch_cache[epoch] = topology
+        return topology
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicTopology(n={self.num_nodes}, period={self._period}, "
+            f"churn={self._churn}, edge_failure={self._edge_failure}, "
+            f"seed={self._seed})"
+        )
 
 
 def make_channel(eps: float, seed: int) -> NoiseModel:
@@ -151,3 +543,97 @@ def make_channel(eps: float, seed: int) -> NoiseModel:
     if eps == 0.0:
         return NoiselessChannel()
     return BernoulliNoise(eps, seed)
+
+
+#: Grid-facing noise-model names (the ``zone:`` form is parameterised by
+#: its hot-zone fraction, e.g. ``"zone:0.25"``).
+_KNOWN_NOISE_MODELS = ("bernoulli", "adversarial", "zone:<frac>")
+
+#: How much hotter the unreliable zone runs than the nominal rate before
+#: capping; the cold rate is solved so the mean stays on the ε budget.
+_ZONE_HOT_FACTOR = 4.0
+
+#: The hot zone's rate ceiling (strictly below the model's 1/2 bound).
+_ZONE_HOT_CAP = 0.45
+
+
+def noise_model_names() -> tuple[str, ...]:
+    """The grid-facing noise-model names, ``zone:`` shown parameterised."""
+    return _KNOWN_NOISE_MODELS
+
+
+def parse_noise_model(name: str) -> tuple:
+    """Validate a noise-model name into its parsed ``(kind, ...)`` form.
+
+    Accepts ``"bernoulli"``, ``"adversarial"``, and ``"zone:<frac>"``
+    with a fractional hot-zone size in ``(0, 1]``.  Anything else raises
+    a one-line :class:`ConfigurationError` listing the known names — the
+    sweep CLI surfaces that as its usual exit-2 error.
+    """
+    known = ", ".join(_KNOWN_NOISE_MODELS)
+    if not isinstance(name, str):
+        raise ConfigurationError(
+            f"noise model must be a string, got {name!r}; known: {known}"
+        )
+    if name == "bernoulli":
+        return ("bernoulli",)
+    if name == "adversarial":
+        return ("adversarial",)
+    if name.startswith("zone:"):
+        try:
+            frac = float(name[len("zone:") :])
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown noise model {name!r}; known: {known}"
+            ) from None
+        if not 0.0 < frac <= 1.0:
+            raise ConfigurationError(
+                f"zone fraction must be in (0, 1], got {frac} in {name!r}"
+            )
+        return ("zone", frac)
+    raise ConfigurationError(f"unknown noise model {name!r}; known: {known}")
+
+
+def zone_rates(n: int, frac: float, eps: float) -> tuple[int, float, float]:
+    """Resolve a zone profile's ``(hot_count, eps_hot, eps_cold)`` for a budget.
+
+    The hot zone runs at ``min(0.45, 4 ε)`` (never below ε, and never
+    above ``n ε / hot_count`` — a large zone cannot outspend the
+    budget); the cold rate is solved so the *mean* per-node rate never
+    exceeds the nominal ε budget — a ``zone:`` channel is a
+    redistribution of the same budget, not extra noise.
+    """
+    hot_count = min(int(n), max(1, int(round(frac * n))))
+    eps_hot = max(
+        eps,
+        min(_ZONE_HOT_CAP, _ZONE_HOT_FACTOR * eps, eps * n / hot_count),
+    )
+    if hot_count >= n:
+        return int(n), eps, eps
+    eps_cold = max(0.0, (eps * n - hot_count * eps_hot) / (n - hot_count))
+    return hot_count, eps_hot, eps_cold
+
+
+def make_noise_model(name: str, eps: float, seed: int, n: int) -> NoiseModel:
+    """Build a grid point's channel from its ``noise_model`` axis value.
+
+    ``seed`` is the point's *session* seed; the channel seed derives from
+    it exactly like :func:`repro.core.round_simulator.make_channel_for`
+    does, so ``"bernoulli"`` through this registry is bit-identical to
+    the historical default channel.  ``eps == 0`` is the noiseless
+    channel for every model name (all models are ε-budget shapes, and a
+    zero budget buys zero flips).
+    """
+    parsed = parse_noise_model(name)
+    if eps == 0.0:
+        return NoiselessChannel()
+    channel_seed = derive_seed(seed, "channel")
+    if parsed[0] == "bernoulli":
+        return BernoulliNoise(eps, channel_seed)
+    if parsed[0] == "adversarial":
+        return AdversarialNoise(eps, channel_seed)
+    frac = parsed[1]
+    _, eps_hot, eps_cold = zone_rates(n, frac, eps)
+    return unreliable_zone(
+        n, frac=frac, eps_hot=eps_hot, eps_cold=eps_cold, seed=channel_seed
+    )

@@ -39,8 +39,13 @@ from typing import Sequence
 
 import numpy as np
 
-from ..beeping.batch import run_schedule
-from ..beeping.noise import NoiseModel, NoiselessChannel, BernoulliNoise
+from ..beeping.batch import run_schedule, run_schedule_batch
+from ..beeping.noise import (
+    BernoulliNoise,
+    DynamicTopology,
+    NoiseModel,
+    NoiselessChannel,
+)
 from ..codes import CombinedCode
 from ..engine import SimulationBackend, resolve_backend
 from ..errors import ConfigurationError
@@ -131,6 +136,10 @@ class BroadcastSession:
     ----------
     topology:
         The network (its max degree must not exceed ``params.max_degree``).
+        A :class:`~repro.beeping.noise.DynamicTopology` churn schedule is
+        accepted too: the beeping phases run against its per-epoch masks
+        and each round's diagnostics are judged against the mask at the
+        round's first beeping round.
     params:
         Code parameters.
     seed:
@@ -274,6 +283,20 @@ class BroadcastSession:
         )
         return self._finish_round(plan, heard1, heard2)
 
+    def _round_topology(self, round_offset: int) -> Topology:
+        """The static adjacency defining a round's ground truth.
+
+        Static sessions always answer their own topology.  Under a
+        :class:`~repro.beeping.noise.DynamicTopology` the round's
+        diagnostics (true neighbour sets, per-node success) are judged
+        against the mask active at the round's *first* beeping round —
+        the epoch a device's transmission started under is the one its
+        neighbours could have heard it in.
+        """
+        if isinstance(self._topology, DynamicTopology):
+            return self._topology.topology_at(round_offset)
+        return self._topology
+
     def _plan_round(
         self,
         messages: Sequence[int | None],
@@ -349,7 +372,7 @@ class BroadcastSession:
         splitting a round around the backend call cannot perturb any
         stream.
         """
-        topology = self._topology
+        topology = self._round_topology(plan.round_offset)
         params = self._params
         codes = self._codes
         n = topology.num_nodes
@@ -873,6 +896,10 @@ class BatchedSession:
     policy, num_decoys, backend:
         As for :class:`BroadcastSession`; the backend is resolved once
         and shared so the batch executes as one call.
+    channels:
+        Optional per-replica channel overrides (one entry per seed,
+        ``None`` entries meaning "the default for that seed's params") —
+        how the sweep layer runs non-default noise models batched.
     """
 
     def __init__(
@@ -884,10 +911,18 @@ class BatchedSession:
         policy: CandidatePolicy = CandidatePolicy.ORACLE_WITH_DECOYS,
         num_decoys: int = 16,
         backend: "str | SimulationBackend | None" = None,
+        channels: "Sequence[NoiseModel | None] | None" = None,
     ) -> None:
         seeds = [int(seed) for seed in seeds]
         if not seeds:
             raise ConfigurationError("BatchedSession needs at least one seed")
+        if channels is None:
+            channels = [None] * len(seeds)
+        if len(channels) != len(seeds):
+            raise ConfigurationError(
+                f"got {len(channels)} channel overrides for "
+                f"{len(seeds)} replicas"
+            )
         self._sessions = tuple(
             BroadcastSession(
                 topology,
@@ -896,8 +931,9 @@ class BatchedSession:
                 policy=policy,
                 num_decoys=num_decoys,
                 backend=backend,
+                channel=channel,
             )
-            for seed in seeds
+            for seed, channel in zip(seeds, channels)
         )
         for session in self._sessions:
             session._vectorized = True
@@ -971,17 +1007,21 @@ class BatchedSession:
         b = self._sessions[0].codes.length
         channels = [session.channel for session in self._sessions]
         starts = [plan.round_offset for plan in plans]
-        heard1 = self._backend.run_schedule_batch(
+        # Routed through the schedule-runner helper (not the backend
+        # directly) so dynamic topologies get their epoch segmentation.
+        heard1 = run_schedule_batch(
             self._topology,
             np.stack([plan.phase1_schedule for plan in plans]),
             channels,
             starts,
+            backend=self._backend,
         )
-        heard2 = self._backend.run_schedule_batch(
+        heard2 = run_schedule_batch(
             self._topology,
             np.stack([plan.phase2_schedule for plan in plans]),
             channels,
             [start + b for start in starts],
+            backend=self._backend,
         )
         return [
             session._finish_round(plan, heard1[index], heard2[index])

@@ -43,13 +43,31 @@ from .packing import WORD_BITS, pack_rows, pack_vector, unpack_rows
 __all__ = ["BitpackedBackend"]
 
 
+def _flip_block_types() -> tuple[type, ...]:
+    """The exact channel types whose flips can be packed-XORed directly.
+
+    These are the windowed channels whose ``apply`` is exactly
+    ``received ^ flip_block(...)`` — for them the backend packs the
+    Philox flip matrix into words instead of unpacking the heard bits.
+    Exact types only: a subclass may override ``apply``, and then only
+    the generic boolean fallback honours it.
+    """
+    from ..beeping.noise import (
+        AdversarialNoise,
+        BernoulliNoise,
+        HeterogeneousNoise,
+    )
+
+    return (BernoulliNoise, HeterogeneousNoise, AdversarialNoise)
+
+
 class BitpackedBackend(SimulationBackend):
     """Packed-word execution: OR/XOR on ``uint64`` words, 64 rounds at a time."""
 
     name = "bitpacked"
 
     def run_schedule(self, topology, schedule, channel=None, start_round=0):
-        from ..beeping.noise import BernoulliNoise, NoiselessChannel
+        from ..beeping.noise import NoiselessChannel
 
         if channel is None:
             channel = NoiselessChannel()
@@ -62,7 +80,7 @@ class BitpackedBackend(SimulationBackend):
         # only the generic fallback below is guaranteed to honour it.
         if type(channel) is NoiselessChannel:
             return unpack_rows(received, rounds)
-        if type(channel) is BernoulliNoise:
+        if type(channel) in _flip_block_types():
             if rounds:
                 flips = pack_rows(channel.flip_block(start_round, rounds, n))
                 np.bitwise_xor(received, flips, out=received)
@@ -90,18 +108,19 @@ class BitpackedBackend(SimulationBackend):
         )
         if replicas == 0:
             return np.zeros_like(schedules)
-        from ..beeping.noise import BernoulliNoise, NoiselessChannel
+        from ..beeping.noise import NoiselessChannel
 
+        flip_types = _flip_block_types()
         packed = pack_rows(schedules.reshape(replicas * n, rounds))
         received = self.neighbor_or_words(topology, packed, replicas=replicas)
         np.bitwise_or(received, packed, out=received)
         # Channel dispatch mirrors run_schedule per replica (exact-type
-        # checks for the same subclass-override reason), but all Bernoulli
+        # checks for the same subclass-override reason), but all windowed
         # replicas' Philox flips are packed and XORed in one pass.
         bernoulli = [
             r
             for r in range(replicas)
-            if type(channel_list[r]) is BernoulliNoise
+            if type(channel_list[r]) in flip_types
         ]
         if bernoulli and rounds:
             flips = np.empty((len(bernoulli) * n, rounds), dtype=bool)
@@ -119,7 +138,7 @@ class BitpackedBackend(SimulationBackend):
         heard = unpack_rows(received, rounds).reshape(replicas, n, rounds)
         for r in range(replicas):
             channel = channel_list[r]
-            if type(channel) is NoiselessChannel or type(channel) is BernoulliNoise:
+            if type(channel) is NoiselessChannel or type(channel) in flip_types:
                 continue
             # Unknown channel: it only understands boolean matrices, so it
             # applies itself to the unpacked replica slice as usual.

@@ -107,12 +107,27 @@ def _channel_spec(channel: "NoiseModel | None") -> "tuple | None":
     applies the channel to the assembled global matrix, preserving
     arbitrary semantics at the cost of shard locality.
     """
-    from ...beeping.noise import BernoulliNoise, NoiselessChannel
+    from ...beeping.noise import (
+        AdversarialNoise,
+        BernoulliNoise,
+        HeterogeneousNoise,
+        NoiselessChannel,
+    )
 
     if channel is None or type(channel) is NoiselessChannel:
         return ("noiseless",)
     if type(channel) is BernoulliNoise:
         return ("bernoulli", channel.eps, channel.seed)
+    if type(channel) is AdversarialNoise:
+        return ("adversarial", channel.eps, channel.seed)
+    if type(channel) is HeterogeneousNoise:
+        # The vector travels as plain bytes so the spec stays a picklable
+        # hashable-friendly tuple of primitives.
+        return (
+            "heterogeneous",
+            channel.eps_vector.tobytes(),
+            channel.seed,
+        )
     return None
 
 

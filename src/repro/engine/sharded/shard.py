@@ -18,9 +18,10 @@ Both kernels produce identical booleans, so the sharded tier inherits
 the engine's bit-identical-backends invariant shard by shard.
 
 Channels are applied *shard-locally* where the noise stream allows it:
-:class:`~repro.beeping.noise.BernoulliNoise` flips are a pure function
-of ``(seed, round, node)``, so a worker reconstructs the channel from
-``(eps, seed)`` and slices its local nodes' rows out of the global flip
+every :class:`~repro.beeping.noise.WindowedNoise` channel's flips
+(Bernoulli, heterogeneous, adversarial) are a pure function of
+``(seed, round, node)``, so a worker reconstructs the channel from its
+spec tuple and slices its local nodes' rows out of the global flip
 block — bit-identical to the single-process application, independent of
 ``P``.  Unknown channel types cannot be sliced safely and are applied at
 the coordinator instead (see the coordinator's channel dispatch).
@@ -87,7 +88,7 @@ class ShardExecutor:
             for peer, slots in payload["recv_slots"].items()
         }
         self._matrix: "sp.csr_matrix | None" = None
-        self._channels: dict[tuple[float, int], object] = {}
+        self._channels: dict[tuple, object] = {}
 
     @property
     def num_local(self) -> int:
@@ -147,27 +148,41 @@ class ShardExecutor:
         """Apply one replica's channel to this rank's heard rows in place.
 
         ``spec`` is the coordinator's channel descriptor: ``("noiseless",)``
-        leaves the bits as heard; ``("bernoulli", eps, seed)``
-        reconstructs the :class:`~repro.beeping.noise.BernoulliNoise`
-        stream and XORs the *local nodes' rows* of the global flip block
-        — the flips are keyed by ``(seed, round, node)``, so the slice is
-        bit-identical to a single-process application.  ``None`` (an
-        unknown channel type) is a coordinator responsibility and passes
-        through untouched.
+        leaves the bits as heard; ``("bernoulli", eps, seed)``,
+        ``("adversarial", eps, seed)`` and ``("heterogeneous",
+        eps_vector_bytes, seed)`` reconstruct the corresponding windowed
+        channel and XOR the *local nodes' rows* of the global flip block
+        — every windowed channel's flips are keyed by ``(seed, round,
+        node)``, so the slice is bit-identical to a single-process
+        application.  ``None`` (an unknown channel type) is a coordinator
+        responsibility and passes through untouched.
         """
         if spec is None or spec[0] == "noiseless" or rounds == 0:
             return received
-        if spec[0] == "bernoulli":
-            eps, seed = float(spec[1]), int(spec[2])
-            channel = self._channels.get((eps, seed))
-            if channel is None:
-                from ...beeping.noise import BernoulliNoise
+        channel = self._channels.get(spec)
+        if channel is None:
+            channel = self._build_channel(spec)
+            if len(self._channels) >= 8:
+                self._channels.clear()
+            self._channels[spec] = channel
+        flips = channel.flip_block(start_round, rounds, self.num_nodes)
+        received ^= flips[self.local_nodes]
+        return received
 
-                channel = BernoulliNoise(eps, seed)
-                if len(self._channels) >= 8:
-                    self._channels.clear()
-                self._channels[(eps, seed)] = channel
-            flips = channel.flip_block(start_round, rounds, self.num_nodes)
-            received ^= flips[self.local_nodes]
-            return received
+    @staticmethod
+    def _build_channel(spec: tuple):
+        """Reconstruct a windowed channel from its coordinator spec tuple."""
+        from ...beeping.noise import (
+            AdversarialNoise,
+            BernoulliNoise,
+            HeterogeneousNoise,
+        )
+
+        if spec[0] == "bernoulli":
+            return BernoulliNoise(float(spec[1]), int(spec[2]))
+        if spec[0] == "adversarial":
+            return AdversarialNoise(float(spec[1]), int(spec[2]))
+        if spec[0] == "heterogeneous":
+            vector = np.frombuffer(spec[1], dtype=np.float64)
+            return HeterogeneousNoise(vector, int(spec[2]))
         raise SimulationError(f"unknown channel spec {spec!r}")

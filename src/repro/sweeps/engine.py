@@ -47,6 +47,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
+from ..beeping.noise import DynamicTopology, make_noise_model
 from ..congest.runtime import resolve_runtime
 from ..core.parameters import SimulationParameters
 from ..core.round_simulator import BatchedSession
@@ -132,6 +133,8 @@ def _identity_columns(
         "workload": point.workload,
         "n": point.n,
         "eps": point.eps,
+        "noise_model": point.noise_model,
+        "churn": point.churn,
         "gamma": point.gamma,
         "backend": point.backend,
         "shards": shards,
@@ -239,6 +242,8 @@ def execute_batch(
             or point.workload != first.workload
             or point.n != first.n
             or point.eps != first.eps
+            or point.noise_model != first.noise_model
+            or point.churn != first.churn
             or point.backend != first.backend
             or point.rounds != first.rounds
             or point.gamma != first.gamma
@@ -260,10 +265,19 @@ def execute_batch(
     # Replica groups: identical realised adjacency (deterministic families
     # collapse to one group; randomised families usually split apart).
     groups: dict[bytes, list[int]] = {}
-    for index, topology in enumerate(topologies):
-        adjacency = topology.adjacency
-        fingerprint = adjacency.indptr.tobytes() + adjacency.indices.tobytes()
-        groups.setdefault(fingerprint, []).append(index)
+    if first.churn:
+        # Churn masks derive from each point's session seed, so replicas
+        # cannot share one dynamic topology — every point runs alone.
+        groups = {
+            index.to_bytes(8, "big"): [index] for index in range(len(points))
+        }
+    else:
+        for index, topology in enumerate(topologies):
+            adjacency = topology.adjacency
+            fingerprint = (
+                adjacency.indptr.tobytes() + adjacency.indices.tobytes()
+            )
+            groups.setdefault(fingerprint, []).append(index)
 
     results: list[ExperimentResult] = [None] * len(points)  # type: ignore[list-item]
     # One sharded wrapper (and worker pool) for the whole batch; shards=1
@@ -299,11 +313,37 @@ def _execute_broadcast_groups(
         topology = topologies[indices[0]]
         params = _point_parameters(first, topology)
         started = time.perf_counter()
+        # The per-replica channels come from the noise-model registry;
+        # "bernoulli" reproduces the historical default channel
+        # bit-for-bit (same seed derivation), so schema-v4 numbers carry
+        # over unchanged.
+        channels = [
+            make_noise_model(
+                first.noise_model,
+                first.eps,
+                _session_seed(points[index]),
+                first.n,
+            )
+            for index in indices
+        ]
+        session_topology: "Topology | DynamicTopology" = topology
+        if first.churn:
+            # Churn groups are singletons (see execute_batch): one mask
+            # schedule per point, re-drawn once per simulated round,
+            # keyed by the point's session seed.
+            [churn_index] = indices
+            session_topology = DynamicTopology(
+                topology,
+                period=params.rounds_per_simulated_round,
+                churn=first.churn,
+                seed=derive_seed(_session_seed(points[churn_index]), "churn"),
+            )
         session = BatchedSession(
-            topology,
+            session_topology,
             params,
             [_session_seed(points[index]) for index in indices],
             backend=effective_backend,
+            channels=channels,
         )
         message_rngs = [
             derive_rng(_session_seed(points[index]), "sweep-messages")
@@ -385,8 +425,8 @@ def _cache_identity_matches(
     predates schema additions; the long-form record inside the result
     carries the *unsanitised* identity, so replay requires every
     identity column — family, generator params, ``n``, ``eps``,
-    ``gamma``, backend, ``shards``, seed, ``rounds`` — to match the
-    requested point exactly.  Anything malformed or mismatched is a
+    ``noise_model``, ``churn``, ``gamma``, backend, ``shards``, seed,
+    ``rounds`` — to match the requested point exactly.  Anything malformed or mismatched is a
     cache miss (``shards`` runs are bit-identical but cached separately,
     so each record's provenance column stays truthful).
     """
@@ -401,6 +441,8 @@ def _cache_identity_matches(
             and record["workload"] == point.workload
             and record["n"] == point.n
             and record["eps"] == point.eps
+            and record["noise_model"] == point.noise_model
+            and record["churn"] == point.churn
             and record["gamma"] == point.gamma
             and record["backend"] == point.backend
             and record["shards"] == shards
@@ -461,6 +503,8 @@ def _batch_groups(
             point.workload,
             point.n,
             point.eps,
+            point.noise_model,
+            point.churn,
             point.backend,
             point.rounds,
             point.gamma,

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Mapping, Sequence
 
+from ..beeping.noise import parse_noise_model
 from ..engine import available_backends
 from ..errors import ConfigurationError
 from ..graphs import build_family_graph, get_family
@@ -38,6 +39,8 @@ GRID_KEYS: tuple[str, ...] = (
     "workloads",
     "sizes",
     "noises",
+    "noise_models",
+    "churns",
     "backends",
     "seeds",
     "rounds",
@@ -84,6 +87,8 @@ class GridPoint:
     rounds: int
     gamma: int
     workload: str = "broadcast"
+    noise_model: str = "bernoulli"
+    churn: float = 0.0
 
     def params_label(self) -> str:
         """The resolved generator parameters as a stable ``k=v,...`` string.
@@ -109,7 +114,8 @@ class GridPoint:
         """
         return (
             f"{self.family}|{self.params_label()}|workload={self.workload}|"
-            f"n={self.n}|eps={self.eps!r}|rounds={self.rounds}|"
+            f"n={self.n}|eps={self.eps!r}|model={self.noise_model}|"
+            f"churn={self.churn!r}|rounds={self.rounds}|"
             f"gamma={self.gamma}"
         )
 
@@ -130,6 +136,10 @@ class GridPoint:
             parts.append(self.workload)
         parts.append(f"n{self.n}")
         parts.append(f"eps{self.eps!r}")
+        if self.noise_model != "bernoulli":
+            parts.append(self.noise_model)
+        if self.churn:
+            parts.append(f"churn{self.churn!r}")
         parts.append(f"r{self.rounds}")
         parts.append(f"g{self.gamma}")
         digest = hashlib.sha256(self.identity().encode("utf-8")).hexdigest()[:8]
@@ -138,9 +148,14 @@ class GridPoint:
 
     def label(self) -> str:
         """Human-oriented one-line description for progress messages."""
+        scenario = ""
+        if self.noise_model != "bernoulli":
+            scenario += f" model={self.noise_model}"
+        if self.churn:
+            scenario += f" churn={self.churn:g}"
         return (
-            f"{self.family} {self.workload} n={self.n} eps={self.eps:g} "
-            f"backend={self.backend} seed={self.seed}"
+            f"{self.family} {self.workload} n={self.n} eps={self.eps:g}"
+            f"{scenario} backend={self.backend} seed={self.seed}"
         )
 
 
@@ -164,6 +179,18 @@ class GridSpec:
         construction, before anything runs.
     noises:
         Channel noise rates ``eps`` in ``[0, 1/2)``.
+    noise_models:
+        How each ``eps`` budget is spent (see
+        :func:`repro.beeping.noise_model_names`): ``"bernoulli"`` iid
+        flips, ``"adversarial"`` budgeted full-round bursts, or
+        ``"zone:<frac>"`` — an unreliable hot zone covering that
+        fraction of the nodes, with the cold rate solved so the mean
+        stays on budget.
+    churns:
+        Per-epoch node-churn probabilities in ``[0, 1)``; a non-zero
+        churn wraps each point's graph in a
+        :class:`~repro.beeping.noise.DynamicTopology` whose mask
+        re-draws once per simulated Broadcast CONGEST round.
     backends:
         Simulation backends; results are bit-identical across them by
         the engine invariant, so this axis measures *speed* only.
@@ -186,6 +213,8 @@ class GridSpec:
     sizes: tuple[int, ...]
     noises: tuple[float, ...]
     workloads: tuple[str, ...] = ("broadcast",)
+    noise_models: tuple[str, ...] = ("bernoulli",)
+    churns: tuple[float, ...] = (0.0,)
     backends: tuple[str, ...] = ("auto",)
     seeds: tuple[int, ...] = (0,)
     rounds: int = 2
@@ -196,7 +225,17 @@ class GridSpec:
     def __post_init__(self) -> None:
         """Normalise sequence fields and validate every axis eagerly."""
         coerce = object.__setattr__  # frozen dataclass
-        for name in ("topologies", "workloads", "sizes", "noises", "backends", "seeds"):
+        sequence_fields = (
+            "topologies",
+            "workloads",
+            "sizes",
+            "noises",
+            "noise_models",
+            "churns",
+            "backends",
+            "seeds",
+        )
+        for name in sequence_fields:
             value = getattr(self, name)
             if isinstance(value, (str, bytes)) or not isinstance(
                 value, Sequence
@@ -233,6 +272,16 @@ class GridSpec:
                 raise _one_line(f"grid noise must be in [0, 0.5), got {eps}")
             noises.append(float(eps))
         coerce(self, "noises", tuple(noises))
+        for model in self.noise_models:
+            parse_noise_model(model)  # raises listing the known models
+        churns = []
+        for churn in self.churns:
+            if isinstance(churn, bool) or not isinstance(churn, (int, float)):
+                raise _one_line(f"grid churn must be a number, got {churn!r}")
+            if not 0.0 <= churn < 1.0:
+                raise _one_line(f"grid churn must be in [0, 1), got {churn}")
+            churns.append(float(churn))
+        coerce(self, "churns", tuple(churns))
         known_backends = ("auto", *available_backends())
         for backend in self.backends:
             if backend not in known_backends:
@@ -303,9 +352,10 @@ class GridSpec:
         """Multiply the axes into concrete :class:`GridPoint` objects.
 
         Order is deterministic: family, then workload, then size, then
-        noise, then backend, then seed (the long-form row order of the
-        results).  ``backend`` overrides the grid's backend axis
-        wholesale — the CLI's ``--backend`` flag.
+        noise, then noise model, then churn, then backend, then seed
+        (the long-form row order of the results).  ``backend`` overrides
+        the grid's backend axis wholesale — the CLI's ``--backend``
+        flag.
         """
         backends = (backend,) if backend is not None else self.backends
         rounds = self.effective_rounds(profile)
@@ -318,21 +368,25 @@ class GridSpec:
             for workload in self.workloads:
                 for n in self.sizes:
                     for eps in self.noises:
-                        for chosen_backend in backends:
-                            for seed in self.seeds:
-                                points.append(
-                                    GridPoint(
-                                        family=family,
-                                        params=family_params,
-                                        n=n,
-                                        eps=eps,
-                                        backend=chosen_backend,
-                                        seed=seed,
-                                        rounds=rounds,
-                                        gamma=self.gamma,
-                                        workload=workload,
-                                    )
-                                )
+                        for noise_model in self.noise_models:
+                            for churn in self.churns:
+                                for chosen_backend in backends:
+                                    for seed in self.seeds:
+                                        points.append(
+                                            GridPoint(
+                                                family=family,
+                                                params=family_params,
+                                                n=n,
+                                                eps=eps,
+                                                backend=chosen_backend,
+                                                seed=seed,
+                                                rounds=rounds,
+                                                gamma=self.gamma,
+                                                workload=workload,
+                                                noise_model=noise_model,
+                                                churn=churn,
+                                            )
+                                        )
         return tuple(points)
 
     def to_dict(self) -> dict:
@@ -342,6 +396,8 @@ class GridSpec:
             "workloads": list(self.workloads),
             "sizes": list(self.sizes),
             "noises": list(self.noises),
+            "noise_models": list(self.noise_models),
+            "churns": list(self.churns),
             "backends": list(self.backends),
             "seeds": list(self.seeds),
             "rounds": self.rounds,

@@ -39,7 +39,12 @@ __all__ = ["SWEEP_SCHEMA_VERSION", "POINT_FIELDS", "CELL_KEY", "SweepResult"]
 #: of the sharded tier; ``1`` = single-process).  ``shards`` is
 #: provenance, not identity: it is deliberately excluded from
 #: :data:`CELL_KEY`, because sharded execution is bit-identical.
-SWEEP_SCHEMA_VERSION = 4
+#: Version 5 added the scenario axes: the ``noise_model`` identity
+#: column (how the eps budget is spent — ``bernoulli``, ``adversarial``,
+#: ``zone:<frac>``) and the ``churn`` identity column (per-epoch node
+#: churn probability of the dynamic-topology wrapper; ``0.0`` = static).
+#: Both are simulation identity and join :data:`CELL_KEY`.
+SWEEP_SCHEMA_VERSION = 5
 
 #: Column order of the long-form per-point records.
 POINT_FIELDS: tuple[str, ...] = (
@@ -48,6 +53,8 @@ POINT_FIELDS: tuple[str, ...] = (
     "workload",
     "n",
     "eps",
+    "noise_model",
+    "churn",
     "gamma",
     "backend",
     "shards",
@@ -71,7 +78,16 @@ POINT_FIELDS: tuple[str, ...] = (
 )
 
 #: The axes a cell aggregates over seeds within.
-CELL_KEY: tuple[str, ...] = ("family", "params", "workload", "n", "eps", "backend")
+CELL_KEY: tuple[str, ...] = (
+    "family",
+    "params",
+    "workload",
+    "n",
+    "eps",
+    "noise_model",
+    "churn",
+    "backend",
+)
 
 #: Per-point quantities summarised into each cell (besides success_rate).
 #: Workload-specific columns are ``None`` where they do not apply and

@@ -15,7 +15,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.beeping.noise import BernoulliNoise, NoiselessChannel
+from repro.beeping.noise import (
+    AdversarialNoise,
+    BernoulliNoise,
+    NoiselessChannel,
+    unreliable_zone,
+)
 from repro.engine import (
     DenseBackend,
     ShardedBackend,
@@ -114,6 +119,61 @@ class TestBitIdentity:
         ]
         for other in results[1:]:
             assert np.array_equal(results[0], other)
+
+
+def scenario_channels(n: int):
+    """One instance of every scenario channel the workers reconstruct."""
+    return [
+        AdversarialNoise(0.1, 17),
+        unreliable_zone(n, frac=0.2, eps_hot=0.4, eps_cold=0.02, seed=17),
+    ]
+
+
+class TestScenarioBitIdentity:
+    """The new scenario channels stay bit-identical at every shard count.
+
+    The workers rebuild these channels from picklable specs and slice
+    their local rows out of the full flip block, so the flips must match
+    the single-process reference exactly — including across the Philox
+    window boundary and for ``P = 1`` (the no-pool delegation path).
+    """
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("kernel", ["dense", "bitpacked"])
+    def test_run_schedule_matches_dense(self, request, topology, shards, kernel):
+        backend = sharded(request, shards, base=kernel)
+        schedule = schedule_for(topology, 60)
+        for channel in scenario_channels(topology.num_nodes):
+            for start in (0, 4090):
+                expected = DENSE.run_schedule(topology, schedule, channel, start)
+                actual = backend.run_schedule(topology, schedule, channel, start)
+                assert np.array_equal(expected, actual), (channel, start)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_mixed_channel_batch_matches_dense(self, request, topology, shards):
+        backend = sharded(request, shards)
+        rng = np.random.default_rng(11)
+        schedules = rng.random((3, topology.num_nodes, 30)) < 0.2
+        channels = [
+            BernoulliNoise(0.1, 4),
+            *scenario_channels(topology.num_nodes),
+        ]
+        starts = [0, 17, 4090]
+        expected = DENSE.run_schedule_batch(topology, schedules, channels, starts)
+        actual = backend.run_schedule_batch(topology, schedules, channels, starts)
+        assert np.array_equal(expected, actual)
+
+    def test_identical_across_shard_counts(self, request, topology):
+        schedule = schedule_for(topology, 50)
+        for channel in scenario_channels(topology.num_nodes):
+            results = [
+                sharded(request, shards).run_schedule(
+                    topology, schedule, channel, 2
+                )
+                for shards in (1, 2, 4)
+            ]
+            for other in results[1:]:
+                assert np.array_equal(results[0], other)
 
 
 class TestDegenerateShapes:

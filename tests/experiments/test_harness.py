@@ -23,7 +23,7 @@ GRID_TOML = (
 class TestHelpText:
     def test_id_summary_generated_from_registry(self):
         summary = _experiment_id_summary()
-        assert summary == "a01..a03, e01..e16"
+        assert summary == "a01..a03, e01..e17"
 
     def test_summary_tracks_registry_contents(self):
         # every registered id is inside one of the advertised ranges
@@ -37,7 +37,7 @@ class TestHelpText:
             main(["--help"])
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
-        assert "e01..e16" in out and "a01..a03" in out
+        assert "e01..e17" in out and "a01..a03" in out
         assert "e01..e15" not in out  # the stale hardcoded range
 
 
@@ -97,6 +97,15 @@ class TestRuntimeFlag:
         err = capsys.readouterr().err
         assert err.count("\n") == 1
         assert "unknown runtime 'bogus'" in err
+
+    def test_sweep_unknown_noise_model_exits_2_one_line(self, tmp_path, capsys):
+        grid = tmp_path / "grid.toml"
+        grid.write_text(GRID_TOML + 'noise_models = ["bogus"]\n')
+        assert main(["sweep", "--grid", str(grid)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line diagnostic, no traceback
+        assert "unknown noise model 'bogus'" in err
+        assert "bernoulli" in err and "adversarial" in err and "zone:" in err
 
 
 class TestHarnessCLI:

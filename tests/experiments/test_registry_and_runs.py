@@ -11,7 +11,7 @@ from repro.experiments import EXPERIMENTS, Table, get_experiment, list_experimen
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        expected = [f"e{i:02d}" for i in range(1, 17)] + ["a01", "a02", "a03"]
+        expected = [f"e{i:02d}" for i in range(1, 18)] + ["a01", "a02", "a03"]
         assert sorted(EXPERIMENTS) == sorted(expected)
 
     def test_get_experiment_case_insensitive(self):
@@ -39,7 +39,7 @@ class TestSpecs:
 
     def test_registry_view_behaves_like_dict(self):
         assert "e06" in EXPERIMENTS
-        assert len(EXPERIMENTS) == 19
+        assert len(EXPERIMENTS) == 20
         assert set(EXPERIMENTS.keys()) == {key for key, _ in EXPERIMENTS.items()}
         runner, description = EXPERIMENTS["e06"]
         assert runner.title == description

@@ -276,6 +276,71 @@ class TestReplicaBatching:
         assert single.tables[0].rows == batched.tables[0].rows
 
 
+#: A scenario grid crossing every noise model with churn on both backends.
+SCENARIO_GRID = {
+    "topologies": ["cycle"],
+    "sizes": [8],
+    "noises": [0.05],
+    "noise_models": ["bernoulli", "adversarial", "zone:0.25"],
+    "churns": [0.0, 0.2],
+    "seeds": [0, 1],
+    "rounds": 1,
+}
+
+
+class TestScenarioSweeps:
+    """The noise_model / churn axes through the full sweep engine."""
+
+    def test_points_carry_axes_and_csv_round_trips(self):
+        result = sweeps.run(SCENARIO_GRID)
+        assert len(result.points) == 3 * 2 * 2
+        for record in result.points:
+            assert tuple(record) == POINT_FIELDS
+            assert record["noise_model"] in SCENARIO_GRID["noise_models"]
+            assert record["churn"] in SCENARIO_GRID["churns"]
+        header = result.points_csv().splitlines()[0].split(",")
+        assert "noise_model" in header and "churn" in header
+        cells_header = result.cells_csv().splitlines()[0].split(",")
+        assert "noise_model" in cells_header and "churn" in cells_header
+        # one aggregate cell per (model, churn) pair — both join the key
+        assert len(result.cells()) == 3 * 2
+        restored = SweepResult.from_json(result.to_json())
+        assert restored.points == result.points
+        assert restored.cells_csv() == result.cells_csv()
+
+    def test_dense_and_bitpacked_identical(self):
+        dense = sweeps.run(SCENARIO_GRID, backend="dense")
+        packed = sweeps.run(SCENARIO_GRID, backend="bitpacked")
+        assert _without_backend(dense.cells()) == _without_backend(packed.cells())
+
+    def test_default_axes_reproduce_legacy_numbers(self):
+        # schema 5 must not perturb a schema-4-shaped campaign's numbers:
+        # the explicit default axes and their omission give equal points
+        base = {k: v for k, v in SCENARIO_GRID.items()
+                if k not in ("noise_models", "churns")}
+        explicit = sweeps.run(
+            {**base, "noise_models": ["bernoulli"], "churns": [0.0]}
+        )
+        omitted = sweeps.run(base)
+        assert _timing_free(explicit) == _timing_free(omitted)
+
+    def test_churned_batched_equals_per_seed_reference(self):
+        # churn forces singleton replica groups (each point's dynamic
+        # mask derives from its own session seed) — numbers must match
+        # the unbatched reference exactly.
+        batched = sweeps.run(SCENARIO_GRID, batch_replicas=True)
+        reference = sweeps.run(SCENARIO_GRID, batch_replicas=False)
+        assert _timing_free(batched) == _timing_free(reference)
+
+    def test_noise_model_changes_numbers(self):
+        cells = sweeps.run(SCENARIO_GRID).cells()
+        by_model = {}
+        for cell in cells:
+            if cell["churn"] == 0.0:
+                by_model[cell["noise_model"]] = cell["success_mean"]
+        assert len(set(by_model.values())) > 1  # the axis is not cosmetic
+
+
 class TestCacheIdentity:
     """Regression: the point cache must key on the full GridPoint identity."""
 
@@ -321,6 +386,48 @@ class TestCacheIdentity:
         )
         assert not any(point["cached"] for point in edited.points)
         assert "degree=7" in edited.points[0]["params"]
+
+    def test_noise_model_edit_misses_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        base = {**self.BASE, "noises": [0.05]}
+        sweeps.run(base, cache_dir=cache)
+        replay = sweeps.run(base, cache_dir=cache)
+        assert all(point["cached"] for point in replay.points)
+        edited = sweeps.run(
+            {**base, "noise_models": ["adversarial"]}, cache_dir=cache
+        )
+        assert not any(point["cached"] for point in edited.points)
+        assert edited.points[0]["noise_model"] == "adversarial"
+
+    def test_churn_edit_misses_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        sweeps.run(self.BASE, cache_dir=cache)
+        edited = sweeps.run({**self.BASE, "churns": [0.2]}, cache_dir=cache)
+        assert not any(point["cached"] for point in edited.points)
+        assert edited.points[0]["churn"] == 0.2
+
+    def test_forged_noise_model_entry_is_rejected(self, tmp_path):
+        # the slug-collision scenario for the new identity columns: a
+        # bernoulli result planted under the adversarial point's cache
+        # name must be detected by the stored-identity check, not replayed
+        cache = tmp_path / "cache"
+        base = {**self.BASE, "noises": [0.05]}
+        sweeps.run(base, cache_dir=cache)
+        other = {**base, "noise_models": ["adversarial"]}
+        point = sweeps.load_grid(base).expand()[0]
+        other_point = sweeps.load_grid(other).expand()[0]
+        source = api.cache_path(
+            cache, point.slug(), profile="quick", seed=0, backend="auto"
+        )
+        target = api.cache_path(
+            cache, other_point.slug(), profile="quick", seed=0, backend="auto"
+        )
+        target.write_text(
+            source.read_text().replace(point.slug(), other_point.slug())
+        )
+        forged = sweeps.run(other, cache_dir=cache)
+        assert not any(point["cached"] for point in forged.points)
+        assert forged.points[0]["noise_model"] == "adversarial"
 
     def test_forged_entry_with_matching_name_is_rejected(self, tmp_path):
         """A cache file whose *name* matches but whose stored identity does

@@ -167,6 +167,108 @@ class TestExpansion:
         assert point.params_label() in point.slug()
 
 
+class TestScenarioAxes:
+    """The noise_models / churns axes: validation, expansion, identity."""
+
+    def test_defaults_reproduce_legacy_grid(self):
+        grid = spec()
+        assert grid.noise_models == ("bernoulli",)
+        assert grid.churns == (0.0,)
+        [point] = grid.expand()
+        assert point.noise_model == "bernoulli"
+        assert point.churn == 0.0
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"noise_models": ["quantum"]},
+            {"noise_models": ["zone:0"]},
+            {"noise_models": ["zone:1.5"]},
+            {"noise_models": [7]},
+            {"noise_models": []},
+            {"noise_models": "bernoulli"},
+            {"churns": [1.0]},
+            {"churns": [-0.1]},
+            {"churns": ["high"]},
+            {"churns": []},
+        ],
+    )
+    def test_malformed_axes_rejected_one_line(self, overrides):
+        with pytest.raises(ConfigurationError) as excinfo:
+            spec(**overrides)
+        assert "\n" not in str(excinfo.value)
+
+    def test_unknown_noise_model_lists_known(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            spec(noise_models=["bernoulli", "quantum"])
+        message = str(excinfo.value)
+        assert "unknown noise model 'quantum'" in message
+        assert "adversarial" in message and "zone:<frac>" in message
+
+    def test_expansion_multiplies_axes(self):
+        grid = spec(
+            noise_models=["bernoulli", "adversarial", "zone:0.25"],
+            churns=[0.0, 0.2],
+            noises=[0.05],
+        )
+        points = grid.expand()
+        assert len(points) == 3 * 2
+        assert {p.noise_model for p in points} == {
+            "bernoulli", "adversarial", "zone:0.25"
+        }
+        assert {p.churn for p in points} == {0.0, 0.2}
+
+    def test_identity_and_slug_distinguish_axes(self):
+        grid = spec(
+            noise_models=["bernoulli", "adversarial"],
+            churns=[0.0, 0.15],
+            noises=[0.05],
+        )
+        points = grid.expand()
+        assert len({p.identity() for p in points}) == len(points)
+        assert len({p.slug() for p in points}) == len(points)
+        for point in points:
+            assert f"model={point.noise_model}" in point.identity()
+            assert f"churn={point.churn!r}" in point.identity()
+
+    def test_default_point_slug_is_unchanged(self):
+        # cached results from schema-4 campaigns must replay: the default
+        # bernoulli/zero-churn point's slug cannot grow new components
+        [point] = spec(noises=[0.05]).expand()
+        assert "bernoulli" not in point.slug()
+        assert "churn" not in point.slug()
+
+    def test_churn_float_precision_kept_distinct(self):
+        a = spec(churns=[0.1234567]).expand()[0].slug()
+        b = spec(churns=[0.1234568]).expand()[0].slug()
+        assert a != b
+
+    def test_to_dict_round_trips_axes(self):
+        grid = spec(
+            noise_models=["adversarial", "zone:0.5"],
+            churns=[0.0, 0.3],
+        )
+        restored = GridSpec.from_dict(grid.to_dict())
+        assert restored == grid
+        assert restored.noise_models == ("adversarial", "zone:0.5")
+        assert restored.churns == (0.0, 0.3)
+
+    def test_from_toml_round_trips_axes(self, tmp_path):
+        path = tmp_path / "grid.toml"
+        path.write_text(
+            "[grid]\n"
+            'topologies = ["cycle"]\n'
+            "sizes = [8]\n"
+            "noises = [0.05]\n"
+            'noise_models = ["bernoulli", "zone:0.25"]\n'
+            "churns = [0.0, 0.15]\n"
+        )
+        grid = GridSpec.from_toml(path)
+        assert grid.noise_models == ("bernoulli", "zone:0.25")
+        assert grid.churns == (0.0, 0.15)
+        assert GridSpec.from_dict(grid.to_dict()) == grid
+
+
 class TestLoading:
     def test_from_toml_round_trip(self, tmp_path):
         path = tmp_path / "grid.toml"

@@ -26,6 +26,8 @@ import sys
 
 #: The public-API modules the docstring gate covers.
 MODULES: tuple[str, ...] = (
+    "repro.beeping.noise",
+    "repro.beeping.batch",
     "repro.engine",
     "repro.engine.base",
     "repro.engine.dense",
