@@ -22,6 +22,8 @@ callers get process-wide (the experiments harness exposes it as
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .base import (
     SimulationBackend,
     normalize_batch_args,
@@ -32,6 +34,9 @@ from .bitpacked import BitpackedBackend
 from .dense import DenseBackend
 from .mp import START_METHOD, mp_context
 from .packing import WORD_BITS, pack_rows, pack_vector, unpack_rows, words_for
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..graphs import Topology
 
 __all__ = [
     "SimulationBackend",
@@ -110,7 +115,9 @@ def get_default_backend() -> "str | SimulationBackend":
     return _default_backend
 
 
-def _auto_choice(topology=None, rounds: int | None = None) -> SimulationBackend:
+def _auto_choice(
+    topology: "Topology | None" = None, rounds: "int | None" = None
+) -> SimulationBackend:
     if topology is None:
         return _BACKENDS[DenseBackend.name]
     n = topology.num_nodes
@@ -127,8 +134,8 @@ def _auto_choice(topology=None, rounds: int | None = None) -> SimulationBackend:
 
 def resolve_backend(
     spec: "str | SimulationBackend | None" = None,
-    topology=None,
-    rounds: int | None = None,
+    topology: "Topology | None" = None,
+    rounds: "int | None" = None,
 ) -> SimulationBackend:
     """Resolve a backend spec to an instance.
 

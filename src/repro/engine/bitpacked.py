@@ -30,6 +30,8 @@ slice is bit-identical to its standalone :meth:`run_schedule` execution.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 import numpy as np
 
 from .base import (
@@ -39,6 +41,10 @@ from .base import (
     validate_schedule_batch,
 )
 from .packing import WORD_BITS, pack_rows, pack_vector, unpack_rows
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..beeping.noise import NoiseModel
+    from ..graphs import Topology
 
 __all__ = ["BitpackedBackend"]
 
@@ -66,7 +72,13 @@ class BitpackedBackend(SimulationBackend):
 
     name = "bitpacked"
 
-    def run_schedule(self, topology, schedule, channel=None, start_round=0):
+    def run_schedule(
+        self,
+        topology: "Topology",
+        schedule: np.ndarray,
+        channel: "NoiseModel | None" = None,
+        start_round: int = 0,
+    ) -> np.ndarray:
         from ..beeping.noise import NoiselessChannel
 
         if channel is None:
@@ -98,8 +110,12 @@ class BitpackedBackend(SimulationBackend):
     _BATCH_CHUNK_WORDS = 1 << 16
 
     def run_schedule_batch(
-        self, topology, schedules, channels=None, start_rounds=None
-    ):
+        self,
+        topology: "Topology",
+        schedules: np.ndarray,
+        channels: "NoiseModel | Sequence[NoiseModel] | None" = None,
+        start_rounds: "int | Sequence[int] | None" = None,
+    ) -> np.ndarray:
         """Replica-axis packed execution: one segmented OR, one flip pass."""
         schedules = validate_schedule_batch(topology, schedules)
         replicas, n, rounds = schedules.shape
@@ -147,7 +163,7 @@ class BitpackedBackend(SimulationBackend):
 
     @staticmethod
     def neighbor_or_words(
-        topology, packed: np.ndarray, replicas: int = 1
+        topology: "Topology", packed: np.ndarray, replicas: int = 1
     ) -> np.ndarray:
         """Per-node OR of neighbours' packed rows, via segmented reduction.
 
@@ -211,7 +227,7 @@ class BitpackedBackend(SimulationBackend):
             )
         return out
 
-    def neighbor_or(self, topology, beeps):
+    def neighbor_or(self, topology: "Topology", beeps: np.ndarray) -> np.ndarray:
         from ..errors import ConfigurationError
 
         beeps = np.asarray(beeps, dtype=bool)

@@ -15,6 +15,8 @@ and start round.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 import numpy as np
 
 from .base import (
@@ -24,6 +26,10 @@ from .base import (
     validate_schedule_batch,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..beeping.noise import NoiseModel
+    from ..graphs import Topology
+
 __all__ = ["DenseBackend"]
 
 
@@ -32,7 +38,13 @@ class DenseBackend(SimulationBackend):
 
     name = "dense"
 
-    def run_schedule(self, topology, schedule, channel=None, start_round=0):
+    def run_schedule(
+        self,
+        topology: "Topology",
+        schedule: np.ndarray,
+        channel: "NoiseModel | None" = None,
+        start_round: int = 0,
+    ) -> np.ndarray:
         if channel is None:
             from ..beeping.noise import NoiselessChannel
 
@@ -42,8 +54,12 @@ class DenseBackend(SimulationBackend):
         return channel.apply(received, start_round)
 
     def run_schedule_batch(
-        self, topology, schedules, channels=None, start_rounds=None
-    ):
+        self,
+        topology: "Topology",
+        schedules: np.ndarray,
+        channels: "NoiseModel | Sequence[NoiseModel] | None" = None,
+        start_rounds: "int | Sequence[int] | None" = None,
+    ) -> np.ndarray:
         """One stacked CSR matvec for all replicas, channels applied per replica."""
         schedules = validate_schedule_batch(topology, schedules)
         replicas, n, rounds = schedules.shape
@@ -63,5 +79,5 @@ class DenseBackend(SimulationBackend):
             ]
         )
 
-    def neighbor_or(self, topology, beeps):
+    def neighbor_or(self, topology: "Topology", beeps: np.ndarray) -> np.ndarray:
         return topology.neighbor_or(beeps)

@@ -34,7 +34,7 @@ parent state.
 from __future__ import annotations
 
 import weakref
-from multiprocessing.connection import wait as _mp_wait
+from multiprocessing.connection import Connection, wait as _mp_wait
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -68,7 +68,7 @@ CHUNK_BYTES = 1 << 20
 _KERNELS = ("dense", "bitpacked")
 
 
-def send_array(conn, array: np.ndarray) -> None:
+def send_array(conn: "Connection", array: np.ndarray) -> None:
     """Send a numpy array over a connection in fixed-size chunks.
 
     The wire format is a small ``(dtype, shape, nbytes)`` header pickle
@@ -85,7 +85,7 @@ def send_array(conn, array: np.ndarray) -> None:
         conn.send_bytes(view[low : low + CHUNK_BYTES])
 
 
-def recv_array(conn) -> np.ndarray:
+def recv_array(conn: "Connection") -> np.ndarray:
     """Receive one :func:`send_array` transmission into a fresh array."""
     dtype_str, shape, nbytes = conn.recv()
     out = np.empty(shape, dtype=np.dtype(dtype_str))
@@ -165,7 +165,13 @@ def _exchange_boundary(
     return halo
 
 
-def _worker_main(rank, shards, conn, peers, memory_budget) -> None:
+def _worker_main(
+    rank: int,
+    shards: int,
+    conn: "Connection",
+    peers: "dict[int, Connection]",
+    memory_budget: "int | None",
+) -> None:
     """Entry point of one shard worker process.
 
     Serves coordinator ops over ``conn`` until ``shutdown``: ``load``
@@ -525,7 +531,9 @@ class ShardedBackend(SimulationBackend):
             base = self._base or "auto"
         return f"{base}-shards{self._shards}"
 
-    def _kernel(self, topology, rounds: "int | None") -> SimulationBackend:
+    def _kernel(
+        self, topology: "Topology", rounds: "int | None"
+    ) -> SimulationBackend:
         """Resolve the local kernel backend (never the process default)."""
         from .. import resolve_backend
 
@@ -565,7 +573,13 @@ class ShardedBackend(SimulationBackend):
             plan, columns, kernel, include_self, rounds, specs, starts
         )
 
-    def run_schedule(self, topology, schedule, channel=None, start_round=0):
+    def run_schedule(
+        self,
+        topology: "Topology",
+        schedule: np.ndarray,
+        channel: "NoiseModel | None" = None,
+        start_round: int = 0,
+    ) -> np.ndarray:
         """Sharded schedule execution, bit-identical to the dense path."""
         schedule = validate_schedule(topology, schedule)
         rounds = schedule.shape[1]
@@ -589,8 +603,12 @@ class ShardedBackend(SimulationBackend):
         return heard
 
     def run_schedule_batch(
-        self, topology, schedules, channels=None, start_rounds=None
-    ):
+        self,
+        topology: "Topology",
+        schedules: np.ndarray,
+        channels: "NoiseModel | Sequence[NoiseModel] | None" = None,
+        start_rounds: "int | Sequence[int] | None" = None,
+    ) -> np.ndarray:
         """Replica batch: one sharded pass over replica-stacked columns."""
         schedules = validate_schedule_batch(topology, schedules)
         replicas, n, rounds = schedules.shape
@@ -624,7 +642,7 @@ class ShardedBackend(SimulationBackend):
                 )
         return result
 
-    def neighbor_or(self, topology, beeps):
+    def neighbor_or(self, topology: "Topology", beeps: np.ndarray) -> np.ndarray:
         """Sharded per-round carrier-sense (vector or matrix form)."""
         beeps = np.asarray(beeps, dtype=bool)
         base = self._kernel(topology, None if beeps.ndim == 1 else beeps.shape[-1])

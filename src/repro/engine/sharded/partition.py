@@ -74,7 +74,7 @@ def _mix(words: np.ndarray) -> np.ndarray:
     return words ^ (words >> np.uint64(31))
 
 
-def hash64(values, salt: str = "") -> np.ndarray:
+def hash64(values: "np.typing.ArrayLike", salt: str = "") -> np.ndarray:
     """Deterministic 64-bit hash of integer ``values`` under a salt.
 
     Stable across processes, platforms, and Python versions (unlike the
@@ -87,7 +87,7 @@ def hash64(values, salt: str = "") -> np.ndarray:
     return mixed.reshape(raw.shape)
 
 
-def owner_of(nodes, shards: int) -> np.ndarray:
+def owner_of(nodes: "np.typing.ArrayLike", shards: int) -> np.ndarray:
     """The owning rank of each node: ``hash64(v, "owner") % shards``.
 
     A pure function of ``(node, shards)`` — deterministic placement with
@@ -99,7 +99,7 @@ def owner_of(nodes, shards: int) -> np.ndarray:
     return (hash64(nodes, "owner") % np.uint64(shards)).astype(np.int64)
 
 
-def edge_ids(u, v) -> np.ndarray:
+def edge_ids(u: "np.typing.ArrayLike", v: "np.typing.ArrayLike") -> np.ndarray:
     """Symmetric global edge ids: ``eid(u, v) == eid(v, u)``.
 
     Computed as ``hash64`` over the *sorted* endpoint pair, so both

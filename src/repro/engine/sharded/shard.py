@@ -32,8 +32,13 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from typing import TYPE_CHECKING
+
 from ...errors import SimulationError
 from ..packing import pack_rows, unpack_rows
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ...beeping.noise import WindowedNoise
 
 __all__ = ["ShardExecutor", "csr_or_words"]
 
@@ -170,7 +175,7 @@ class ShardExecutor:
         return received
 
     @staticmethod
-    def _build_channel(spec: tuple):
+    def _build_channel(spec: tuple) -> "WindowedNoise":
         """Reconstruct a windowed channel from its coordinator spec tuple."""
         from ...beeping.noise import (
             AdversarialNoise,

@@ -51,7 +51,13 @@ from ..beeping.noise import DynamicTopology, make_noise_model
 from ..congest.runtime import resolve_runtime
 from ..core.parameters import SimulationParameters
 from ..core.round_simulator import BatchedSession
-from ..engine import ShardedBackend, get_backend, mp_context, with_shards
+from ..engine import (
+    ShardedBackend,
+    SimulationBackend,
+    get_backend,
+    mp_context,
+    with_shards,
+)
 from ..errors import ConfigurationError
 from ..experiments import api
 from ..experiments.result import ExperimentResult
@@ -305,7 +311,7 @@ def _execute_broadcast_groups(
     first: GridPoint,
     profile: str,
     shards: int,
-    effective_backend,
+    effective_backend: "str | SimulationBackend | None",
 ) -> list[ExperimentResult]:
     """Run every replica group of one broadcast batch (see execute_batch)."""
     results: list[ExperimentResult] = [None] * len(points)  # type: ignore[list-item]

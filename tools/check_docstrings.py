@@ -1,172 +1,38 @@
 """A pydocstyle-lite documentation gate for the public API (no deps).
 
-Checks, for every module named in :data:`MODULES`:
-
-* the module has a substantive module-level docstring;
-* every public class, function, method, and property *defined in* that
-  module has a docstring;
-
-and additionally, for the topology zoo, that every registered family's
-generator docstring mentions each of its schema parameters by name — so
-a parameter cannot be added without documenting it.
-
-Run from the repo root (CI does)::
+This script is now a thin shim over :mod:`tools.lint.docstrings` — the
+checks live there, on the shared static-analysis walker/reporter — kept
+so the historical invocation (and its exact output and exit codes)
+keeps working::
 
     PYTHONPATH=src python tools/check_docstrings.py
 
-Exit code 0 when clean, 1 with one line per violation otherwise.
+Exit code 0 when clean, 1 with one line per violation otherwise.  The
+same gate also runs as part of the consolidated entrypoint::
+
+    python -m tools.lint --all
 """
 
 from __future__ import annotations
 
-import importlib
-import inspect
-import re
 import sys
+from pathlib import Path
 
-#: The public-API modules the docstring gate covers.
-MODULES: tuple[str, ...] = (
-    "repro.beeping.noise",
-    "repro.beeping.batch",
-    "repro.engine",
-    "repro.engine.base",
-    "repro.engine.dense",
-    "repro.engine.bitpacked",
-    "repro.engine.packing",
-    "repro.engine.mp",
-    "repro.engine.sharded",
-    "repro.engine.sharded.partition",
-    "repro.engine.sharded.shard",
-    "repro.engine.sharded.coordinator",
-    "repro.memguard",
-    "repro.experiments.spec",
-    "repro.experiments.api",
-    "repro.experiments.result",
-    "repro.experiments.context",
-    "repro.sweeps",
-    "repro.sweeps.grid",
-    "repro.sweeps.engine",
-    "repro.sweeps.result",
-    "repro.sweeps.workloads",
-    "repro.graphs.generators",
-    "repro.congest.algorithm",
-    "repro.congest.context",
-    "repro.congest.model",
-    "repro.congest.network",
-    "repro.congest.runtime",
-    "repro.congest.vectorized",
-    "repro.algorithms.maximal_matching",
-    "repro.algorithms.luby_mis",
-    "repro.algorithms.coloring",
-    "repro.algorithms.bfs",
-    "repro.algorithms.leader_election",
-    "repro.algorithms.verification",
-    "repro.algorithms.vectorized_matching",
-    "repro.algorithms.vectorized_mis",
-    "repro.algorithms.vectorized_basic",
-    "repro.rng_philox",
-    "repro.service",
-    "repro.service.app",
-    "repro.service.jobs",
-    "repro.service.store",
-    "repro.service.dedupe",
-    "repro.service.events",
+# Script mode puts ``tools/`` (not the repo root) on sys.path; add the
+# root so the ``tools.lint`` package resolves.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from tools.lint.docstrings import (  # noqa: E402
+    MODULES,  # noqa: F401  (re-exported for importers of the old module)
+    check_module,  # noqa: F401
+    check_zoo_param_docs,  # noqa: F401
+    legacy_main,
 )
-
-#: Shorter than this (after stripping) does not count as documentation.
-MIN_DOC_LENGTH = 12
-
-
-def _has_doc(obj: object) -> bool:
-    """Whether ``obj`` carries a substantive docstring of its own."""
-    doc = inspect.getdoc(obj)
-    return doc is not None and len(doc.strip()) >= MIN_DOC_LENGTH
-
-
-def _check_class(module_name: str, cls: type, problems: list[str]) -> None:
-    """Record missing docstrings on a class and its public members."""
-    label = f"{module_name}.{cls.__name__}"
-    if not cls.__doc__ or len(cls.__doc__.strip()) < MIN_DOC_LENGTH:
-        problems.append(f"{label}: missing class docstring")
-    for name, member in vars(cls).items():
-        if name.startswith("_"):
-            continue
-        if isinstance(member, property):
-            if not _has_doc(member):
-                problems.append(f"{label}.{name}: missing property docstring")
-        elif inspect.isfunction(member) or isinstance(
-            member, (classmethod, staticmethod)
-        ):
-            target = (
-                member.__func__
-                if isinstance(member, (classmethod, staticmethod))
-                else member
-            )
-            if not _has_doc(target):
-                problems.append(f"{label}.{name}: missing method docstring")
-
-
-def check_module(module_name: str) -> list[str]:
-    """All docstring violations in one module (empty list when clean)."""
-    problems: list[str] = []
-    module = importlib.import_module(module_name)
-    if not module.__doc__ or len(module.__doc__.strip()) < MIN_DOC_LENGTH:
-        problems.append(f"{module_name}: missing module docstring")
-    for name, member in vars(module).items():
-        if name.startswith("_"):
-            continue
-        defined_here = getattr(member, "__module__", None) == module_name
-        if not defined_here:
-            continue
-        if inspect.isclass(member):
-            _check_class(module_name, member, problems)
-        elif inspect.isfunction(member):
-            if not _has_doc(member):
-                problems.append(
-                    f"{module_name}.{name}: missing function docstring"
-                )
-    return problems
-
-
-def check_zoo_param_docs() -> list[str]:
-    """Every zoo family's generator must document its schema params.
-
-    The builder adapters are lambdas over the public generator
-    functions; the rule is enforced against the generator named like the
-    family (or, for families wrapping an existing generator, against the
-    family description) — each parameter name must appear as a word in
-    the docstring/description text.
-    """
-    from repro.graphs import generators, topology_families
-
-    problems: list[str] = []
-    for family in topology_families():
-        generator = getattr(generators, f"{family.name}_graph", None)
-        text = inspect.getdoc(generator) if generator else None
-        if text is None:
-            text = family.description
-        for param in family.params:
-            if not re.search(rf"\b{re.escape(param.name)}\b", text):
-                problems.append(
-                    f"topology family {family.name!r}: parameter "
-                    f"{param.name!r} not mentioned in its documentation"
-                )
-    return problems
 
 
 def main() -> int:
     """Run every check; print violations; return a process exit code."""
-    problems: list[str] = []
-    for module_name in MODULES:
-        problems.extend(check_module(module_name))
-    problems.extend(check_zoo_param_docs())
-    for problem in problems:
-        print(problem)
-    if problems:
-        print(f"{len(problems)} docstring violation(s)", file=sys.stderr)
-        return 1
-    print(f"docstring check: {len(MODULES)} modules clean")
-    return 0
+    return legacy_main()
 
 
 if __name__ == "__main__":

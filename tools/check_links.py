@@ -1,83 +1,39 @@
 """A dependency-free markdown link checker for README.md and docs/.
 
-Walks the markdown files given on the command line (files or
-directories), extracts inline links and images (``[text](target)``),
-and verifies every **relative** target resolves to an existing file or
-directory (anchors are stripped; external ``http(s)``/``mailto``
-targets are skipped — CI stays hermetic).
-
-Usage (CI runs exactly this)::
+This script is now a thin shim over :mod:`tools.lint.links` — the
+extraction and resolution logic lives there, on the shared
+static-analysis walker/reporter — kept so the historical invocation
+(and its exact output and exit codes) keeps working::
 
     python tools/check_links.py README.md docs
 
 Exit code 0 when every relative link resolves, 1 with one line per
-broken link otherwise.
+broken link otherwise (2 on usage error).  The same gate also runs as
+part of the consolidated entrypoint::
+
+    python -m tools.lint --all
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-#: Inline markdown link/image: ``[text](target)`` (no reference style).
-LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Script mode puts ``tools/`` (not the repo root) on sys.path; add the
+# root so the ``tools.lint`` package resolves.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
-#: Targets that are not local files.
-EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
-
-
-def iter_markdown_files(arguments: "list[str]") -> "list[Path]":
-    """Expand file/directory arguments into a sorted list of .md files."""
-    files: list[Path] = []
-    for argument in arguments:
-        path = Path(argument)
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.md")))
-        else:
-            files.append(path)
-    return files
-
-
-def broken_links(markdown: Path) -> "list[str]":
-    """All unresolvable relative link targets in one markdown file."""
-    problems: list[str] = []
-    try:
-        text = markdown.read_text()
-    except OSError as error:
-        return [f"{markdown}: unreadable ({error})"]
-    # fenced code blocks routinely contain )(-heavy pseudo-links; skip them
-    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
-    for match in LINK_PATTERN.finditer(text):
-        target = match.group(1)
-        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
-            continue
-        relative = target.split("#", 1)[0]
-        if not relative:
-            continue
-        resolved = (markdown.parent / relative).resolve()
-        if not resolved.exists():
-            problems.append(f"{markdown}: broken link -> {target}")
-    return problems
+from tools.lint.links import (  # noqa: E402
+    EXTERNAL_PREFIXES,  # noqa: F401  (re-exported for importers)
+    LINK_PATTERN,  # noqa: F401
+    broken_links,  # noqa: F401
+    legacy_main,
+)
 
 
 def main(argv: "list[str] | None" = None) -> int:
     """Check every file given on the command line; print broken links."""
-    arguments = argv if argv is not None else sys.argv[1:]
-    if not arguments:
-        print("usage: check_links.py FILE_OR_DIR [...]", file=sys.stderr)
-        return 2
-    files = iter_markdown_files(arguments)
-    problems: list[str] = []
-    for markdown in files:
-        problems.extend(broken_links(markdown))
-    for problem in problems:
-        print(problem)
-    if problems:
-        print(f"{len(problems)} broken link(s)", file=sys.stderr)
-        return 1
-    print(f"link check: {len(files)} markdown file(s) clean")
-    return 0
+    return legacy_main(argv)
 
 
 if __name__ == "__main__":

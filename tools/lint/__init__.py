@@ -1,0 +1,49 @@
+"""``repro-lint``: the repo's static determinism & contract checker.
+
+The bit-identity guarantees this codebase rests on — every random
+stream keyed by ``(seed, node/round, n)`` through
+:func:`repro.rng.derive_rng`, nothing nondeterministic in the kernel,
+everything crossing a spawn boundary picklable, the noise layer
+firewalled from the execution layers — were enforced by runtime
+property tests and reviewer vigilance.  This package enforces them
+*statically*: an AST rule engine (:mod:`tools.lint.engine`) with a
+decorator-populated rule registry (:mod:`tools.lint.rules`), per-line
+``# repro-lint: disable=RULE-ID`` suppression with an
+unused-suppression check, and a shared reporter
+(:mod:`tools.lint.reporter`) that also drives the migrated docstring
+(:mod:`tools.lint.docstrings`) and markdown-link
+(:mod:`tools.lint.links`) gates — one entrypoint, one output format,
+one CI job::
+
+    python -m tools.lint --all
+
+See docs/ARCHITECTURE.md "Correctness tooling" for the rule-by-rule
+table pairing each static rule with the runtime property test that
+backs it.
+"""
+
+from __future__ import annotations
+
+from .engine import (  # noqa: F401
+    FileContext,
+    Rule,
+    get_rule,
+    lint_file,
+    lint_paths,
+    registered_rules,
+    rule,
+)
+from .reporter import Finding, GateResult, Reporter  # noqa: F401
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "rule",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "registered_rules",
+    "Finding",
+    "GateResult",
+    "Reporter",
+]

@@ -1,0 +1,371 @@
+"""The AST rule engine behind ``repro-lint``.
+
+Per file: parse once, build an import table (so rules match *resolved*
+dotted names — ``import numpy.random as nr; nr.rand()`` is still
+``numpy.random.rand``), collect ``# repro-lint: disable=RULE-ID``
+pragmas, run every registered rule whose path scope matches, drop
+suppressed findings, and flag suppressions that suppressed nothing.
+
+Rules self-register through the :func:`rule` decorator — the same
+decorator-populated registry idiom as the topology zoo
+(``repro.graphs.topology_families``) and the experiment registry
+(``repro.experiments.spec.experiment``): adding a rule is writing one
+decorated function, no registry edit.
+
+The engine is deliberately dependency-free (``ast`` + stdlib only) so
+the lint gate runs before — and independent of — the scientific stack.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .reporter import Finding
+from .walker import iter_python_files, relative_posix
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "rule",
+    "registered_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "SUPPRESSION_RULE_ID",
+]
+
+#: Rule id of the meta-check on pragmas themselves (unused/unknown
+#: suppressions).  Not suppressible — a pragma cannot excuse itself.
+SUPPRESSION_RULE_ID = "LINT-001"
+
+#: ``# repro-lint: disable=RNG-001`` or ``disable=RNG-001,DET-001``.
+_PRAGMA_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+class ImportTable:
+    """Maps local names to the dotted module/symbol origins they import.
+
+    Built once per file from ``import``/``from ... import`` statements;
+    :meth:`resolve` then turns any ``Name``/``Attribute`` chain into the
+    fully-qualified dotted name it denotes (or ``None`` for names bound
+    locally), which is what every rule matches against.
+    """
+
+    def __init__(self, tree: ast.AST, module: str) -> None:
+        """Scan ``tree`` (module named ``module``) for import bindings."""
+        self._origins: dict[str, str] = {}
+        package_parts = module.split(".")[:-1] if module else []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else local
+                    self._origins[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(node, package_parts)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._origins[local] = f"{base}.{alias.name}" if base else alias.name
+
+    @staticmethod
+    def _resolve_from(node: ast.ImportFrom, package_parts: "list[str]") -> "str | None":
+        """The absolute dotted base of a ``from X import ...`` statement."""
+        if node.level == 0:
+            return node.module or ""
+        # relative import: climb ``level`` packages from this module
+        if node.level > len(package_parts):
+            return node.module or ""  # best effort outside a package
+        base_parts = package_parts[: len(package_parts) - (node.level - 1)]
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts)
+
+    def resolve(self, node: ast.AST) -> "str | None":
+        """The dotted origin a ``Name``/``Attribute`` chain refers to.
+
+        ``np.random.default_rng`` with ``import numpy as np`` resolves to
+        ``"numpy.random.default_rng"``; a chain whose root is not an
+        imported name resolves to ``None``.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        origin = self._origins.get(current.id)
+        if origin is None:
+            return None
+        return ".".join([origin] + list(reversed(parts)))
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one source file (parsed once).
+
+    Attributes
+    ----------
+    path:
+        Absolute path of the file (for diagnostics).
+    relpath:
+        Posix path relative to the lint root — the key rule scopes match
+        against (``"src/repro/engine/dense.py"``).
+    text:
+        The raw source.
+    tree:
+        The parsed ``ast.Module``.
+    module:
+        Dotted module name inferred from ``relpath`` (``src/`` stripped,
+        ``__init__`` dropped) — used to resolve relative imports.
+    imports:
+        The file's :class:`ImportTable`.
+    """
+
+    path: Path
+    relpath: str
+    text: str
+    tree: ast.Module
+    module: str
+    imports: ImportTable
+
+    @classmethod
+    def parse(cls, path: Path, root: "Path | None" = None) -> "FileContext":
+        """Read and parse ``path``, deriving its scope key from ``root``."""
+        text = path.read_text(encoding="utf-8")
+        relpath = relative_posix(path, root)
+        module = _module_name(relpath)
+        tree = ast.parse(text, filename=str(path))
+        return cls(
+            path=path,
+            relpath=relpath,
+            text=text,
+            tree=tree,
+            module=module,
+            imports=ImportTable(tree, module),
+        )
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding for ``node`` attributed to ``rule_id``."""
+        return Finding(
+            location=self.relpath,
+            line=getattr(node, "lineno", 0),
+            rule=rule_id,
+            message=message,
+        )
+
+
+def _module_name(relpath: str) -> str:
+    """Dotted module name for a repo-relative posix path."""
+    parts = relpath.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts or not parts[-1].endswith(".py"):
+        return ""
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+Checker = Callable[[FileContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule.
+
+    Attributes
+    ----------
+    id:
+        Stable identifier cited in diagnostics and pragmas (``RNG-001``).
+    summary:
+        One-line statement of the contract the rule enforces.
+    backing_test:
+        The runtime property test that checks the same invariant
+        dynamically (documentation cross-link; shown by ``--list``).
+    scopes:
+        Posix path prefixes (relative to the lint root) the rule applies
+        to; empty means every file.
+    excludes:
+        Path prefixes exempted even inside a scope (e.g. the rng modules
+        themselves for RNG-001).
+    check:
+        The checker: yields findings for one parsed file.
+    """
+
+    id: str
+    summary: str
+    backing_test: str
+    check: Checker
+    scopes: "tuple[str, ...]" = ()
+    excludes: "tuple[str, ...]" = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule is in scope for ``relpath``."""
+        if any(relpath.startswith(prefix) for prefix in self.excludes):
+            return False
+        if not self.scopes:
+            return True
+        return any(relpath.startswith(prefix) for prefix in self.scopes)
+
+
+_RULES: "dict[str, Rule]" = {}
+
+
+def rule(
+    rule_id: str,
+    summary: str,
+    *,
+    backing_test: str = "",
+    scopes: "Sequence[str]" = (),
+    excludes: "Sequence[str]" = (),
+) -> Callable[[Checker], Checker]:
+    """Decorator registering a checker function as a lint rule.
+
+    Mirrors :func:`repro.experiments.spec.experiment`: decorating is
+    registering, re-decorating the same id replaces the rule (so tests
+    can monkey-register), and the registry is the single source the CLI,
+    the pragma validator and the docs table all read.
+    """
+
+    def register(check: Checker) -> Checker:
+        _RULES[rule_id] = Rule(
+            id=rule_id,
+            summary=summary,
+            backing_test=backing_test,
+            check=check,
+            scopes=tuple(scopes),
+            excludes=tuple(excludes),
+        )
+        return check
+
+    return register
+
+
+def registered_rules() -> "list[Rule]":
+    """Every registered rule, ordered by id."""
+    _ensure_rules_loaded()
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> "Rule | None":
+    """Look up one rule by id (``None`` when unknown)."""
+    _ensure_rules_loaded()
+    return _RULES.get(rule_id)
+
+
+def _ensure_rules_loaded() -> None:
+    """Import the built-in rule set (idempotent; fires its decorators)."""
+    from . import rules  # noqa: F401  (import-for-effect: registration)
+
+
+def _pragmas(text: str) -> "dict[int, list[str]]":
+    """Per-line suppression pragmas: line number -> rule ids named."""
+    table: dict[int, list[str]] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        match = _PRAGMA_PATTERN.search(line)
+        if match:
+            table[line_number] = [
+                rule_id.strip() for rule_id in match.group(1).split(",")
+            ]
+    return table
+
+
+def lint_file(
+    path: Path,
+    root: "Path | None" = None,
+    rules: "Sequence[Rule] | None" = None,
+) -> "list[Finding]":
+    """Run every in-scope rule over one file; apply pragma suppression.
+
+    Returns unsuppressed findings plus one :data:`SUPPRESSION_RULE_ID`
+    finding per pragma entry that suppressed nothing (unused) or names a
+    rule id that does not exist (typo guard) — so stale pragmas cannot
+    silently outlive the violations they excused.
+    """
+    if rules is None:
+        rules = registered_rules()
+    try:
+        context = FileContext.parse(path, root)
+    except (SyntaxError, UnicodeDecodeError) as error:
+        line = getattr(error, "lineno", 0) or 0
+        return [
+            Finding(
+                location=relative_posix(path, root),
+                line=line,
+                rule=SUPPRESSION_RULE_ID,
+                message=f"unparseable file: {error.__class__.__name__}: {error}",
+            )
+        ]
+    raw: list[Finding] = []
+    for candidate in rules:
+        if candidate.applies_to(context.relpath):
+            raw.extend(candidate.check(context))
+    pragmas = _pragmas(context.text)
+    known_ids = {candidate.id for candidate in rules}
+    kept: list[Finding] = []
+    used: set[tuple[int, str]] = set()
+    for finding in raw:
+        suppressors = pragmas.get(finding.line, [])
+        if finding.rule in suppressors:
+            used.add((finding.line, finding.rule))
+        else:
+            kept.append(finding)
+    for line_number, rule_ids in pragmas.items():
+        for rule_id in rule_ids:
+            if rule_id not in known_ids:
+                kept.append(
+                    Finding(
+                        location=context.relpath,
+                        line=line_number,
+                        rule=SUPPRESSION_RULE_ID,
+                        message=f"suppression names unknown rule {rule_id!r}",
+                    )
+                )
+            elif (line_number, rule_id) not in used:
+                kept.append(
+                    Finding(
+                        location=context.relpath,
+                        line=line_number,
+                        rule=SUPPRESSION_RULE_ID,
+                        message=(
+                            f"unused suppression of {rule_id} "
+                            "(nothing to suppress on this line)"
+                        ),
+                    )
+                )
+    return sorted(kept)
+
+
+def lint_paths(
+    paths: Iterable["str | Path"],
+    root: "Path | None" = None,
+    rules: "Sequence[Rule] | None" = None,
+) -> "tuple[list[Finding], int]":
+    """Lint every python file under ``paths``.
+
+    Returns ``(findings, files_checked)``; findings are sorted by
+    location/line for stable output.
+    """
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, root, rules))
+    return sorted(findings), len(files)
+
+
+def iter_findings_lines(findings: Iterable[Finding]) -> Iterator[str]:
+    """Rendered diagnostic lines for ``findings`` (test convenience)."""
+    for finding in findings:
+        yield finding.render()
