@@ -1,0 +1,269 @@
+"""Native-kernel throughput benchmark: NativeBackend vs BitpackedBackend.
+
+Measures the PR-10 tentpole claim on the replica-batched schedule
+benchmark (the ``run_schedule_batch`` kernel shape established by
+``bench_batched_replicas.py``): ``R`` replicas of an ``n``-node,
+``rounds``-round beep schedule executed by the compiled C kernel versus
+the numpy bit-packed pipeline.  Both backends are bit-identical —
+verified inline against the dense reference before any timing — so the
+ratio is pure kernel throughput.
+
+The gate runs on the noiseless primary shape (where the kernel does all
+the work); a cross-backend table additionally reports every scenario
+channel and a secondary shape for transparency — noisy channels share
+the numpy Philox ``flip_block`` cost on both sides, which caps their
+ratio well below the kernel's own speedup (Amdahl).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_native.py             # full, gated
+    PYTHONPATH=src python benchmarks/bench_native.py --quick     # CI smoke
+
+Writes ``BENCH_native.json`` (see ``--output``); exits non-zero when the
+configured speedup target is missed (``--target 0`` disables the gate).
+On hosts where the kernel cannot be built the benchmark reports the
+fallback reason and exits 0 — there is nothing to measure, and the
+fallback itself is covered by tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from conftest import host_metadata
+from repro.beeping.noise import (
+    AdversarialNoise,
+    BernoulliNoise,
+    HeterogeneousNoise,
+)
+from repro.engine import get_backend
+from repro.engine.native.build import (
+    NativeUnavailableError,
+    load_kernel,
+    native_availability,
+)
+from repro.graphs import Topology, random_regular_graph
+
+DENSE = get_backend("dense")
+PACKED = get_backend("bitpacked")
+NATIVE = get_backend("native")
+
+
+def build_topology(n: int, degree: int) -> Topology:
+    """The benchmark graph: a random regular graph, seed-fixed per config."""
+    return Topology(random_regular_graph(n, degree, seed=1))
+
+
+def make_channels(kind: str, n: int, replicas: int):
+    """Per-replica channel list for one table row (None = noiseless)."""
+    if kind == "noiseless":
+        return None
+    if kind == "bernoulli":
+        return [BernoulliNoise(0.05, 100 + r) for r in range(replicas)]
+    if kind == "heterogeneous":
+        rng = np.random.default_rng(7)
+        return [
+            HeterogeneousNoise(rng.uniform(0.0, 0.1, size=n), 200 + r)
+            for r in range(replicas)
+        ]
+    if kind == "adversarial":
+        return [AdversarialNoise(0.1, 300 + r) for r in range(replicas)]
+    raise ValueError(kind)
+
+
+def verify_bit_identity(n: int, degree: int, rounds: int) -> None:
+    """Dense == bitpacked == native on a small replica batch, or die.
+
+    The speedups below are only meaningful if the outputs are equal;
+    start_round 4090 straddles the Philox flip-window boundary.
+    """
+    topology = build_topology(n, degree)
+    rng = np.random.default_rng(0)
+    schedules = rng.random((3, n, rounds)) < 0.2
+    channels = [
+        BernoulliNoise(0.05, 1),
+        HeterogeneousNoise(rng.uniform(0.0, 0.1, size=n), 2),
+        AdversarialNoise(0.1, 3),
+    ]
+    starts = [0, 17, 4090]
+    expected = DENSE.run_schedule_batch(topology, schedules, channels, starts)
+    for backend in (PACKED, NATIVE):
+        actual = backend.run_schedule_batch(topology, schedules, channels, starts)
+        if not np.array_equal(expected, actual):
+            raise SystemExit(
+                f"FATAL: {backend.name} heard matrix differs from dense"
+            )
+
+
+def time_row(topology, schedules, kind: str, repeats: int) -> dict:
+    """Timed bitpacked and native runs for one (shape, channel) row.
+
+    Repeats are interleaved so host-load noise hits both backends alike;
+    the gating speedup is the ratio of best wall-clocks, with medians
+    recorded alongside.
+    """
+    replicas, n, rounds = schedules.shape
+    channels = make_channels(kind, n, replicas)
+    # One untimed warm-up per side: first calls pay one-off costs (CSR
+    # cache builds, Philox window fills, page faults) that belong to
+    # neither backend's steady-state throughput.
+    PACKED.run_schedule_batch(topology, schedules, channels)
+    NATIVE.run_schedule_batch(topology, schedules, channels)
+    packed_times, native_times = [], []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        PACKED.run_schedule_batch(topology, schedules, channels)
+        packed_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        NATIVE.run_schedule_batch(topology, schedules, channels)
+        native_times.append(time.perf_counter() - started)
+    packed_best, native_best = min(packed_times), min(native_times)
+    packed_median = statistics.median(packed_times)
+    native_median = statistics.median(native_times)
+    cells = replicas * n * rounds
+    return {
+        "n": n,
+        "replicas": replicas,
+        "rounds": rounds,
+        "channel": kind,
+        "bitpacked_s": packed_best,
+        "native_s": native_best,
+        "bitpacked_median_s": packed_median,
+        "native_median_s": native_median,
+        "bitpacked_cells_per_s": cells / packed_best,
+        "native_cells_per_s": cells / native_best,
+        # Best-of ratio, like best_of in bench_batched_replicas: minima
+        # strip the scheduler-noise spikes a 1-core host lands on either
+        # side of the interleaving; the medians above stay for context.
+        "speedup": packed_best / native_best if native_best else float("inf"),
+        "speedup_median": packed_median / native_median
+        if native_median
+        else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    """Run the benchmark and write its JSON document; 0 = target met."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=2048, help="nodes (default 2048)")
+    parser.add_argument(
+        "--replicas", type=int, default=32, help="seed-replicas R (default 32)"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=64,
+        help="schedule rounds per replica (default 64)",
+    )
+    parser.add_argument(
+        "--degree", type=int, default=8, help="regular-graph degree (default 8)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=11,
+        help="interleaved timing repeats; best-of gates, medians are "
+        "also recorded (default 11)",
+    )
+    parser.add_argument(
+        "--target", type=float, default=5.0,
+        help="required noiseless-kernel speedup (exit 1 below it; 0 = report "
+        "only, the CI smoke setting — shared runners time noisily)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke preset: n=256, R=4, 1 repeat, gate off",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_native.json",
+        help="JSON result path (default BENCH_native.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n, args.replicas, args.repeats, args.target = 256, 4, 1, 0.0
+
+    try:
+        load_kernel()
+    except NativeUnavailableError:
+        _, reason = native_availability()
+        print(f"native kernel unavailable ({reason}); nothing to measure")
+        document = {
+            "benchmark": "native_kernel",
+            "native_available": False,
+            "reason": reason,
+            "platform": host_metadata(),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        return 0
+
+    verify_bit_identity(min(args.n, 256), args.degree, 70)
+
+    # Primary (gated) shape plus a smaller secondary, each timed
+    # noiseless and under every scenario channel.
+    shapes = [(args.n, args.replicas, args.rounds)]
+    if not args.quick:
+        shapes.extend([(1024, 64, 64), (2048, 32, 128)])
+    rows = []
+    rng = np.random.default_rng(1)
+    for n, replicas, rounds in shapes:
+        topology = build_topology(n, args.degree)
+        schedules = rng.random((replicas, n, rounds)) < 0.2
+        for kind in ("noiseless", "bernoulli", "heterogeneous", "adversarial"):
+            rows.append(time_row(topology, schedules, kind, args.repeats))
+
+    gate_row = rows[0]  # primary shape, noiseless: the kernel's own ratio
+    document = {
+        "benchmark": "native_kernel",
+        "native_available": True,
+        "config": {
+            "n": args.n,
+            "replicas": args.replicas,
+            "rounds": args.rounds,
+            "degree": args.degree,
+            "repeats": args.repeats,
+            "quick": args.quick,
+        },
+        "platform": host_metadata(),
+        "rows": rows,
+        "speedup": gate_row["speedup"],
+        "bit_identical": True,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"degree={args.degree} repeats={args.repeats} "
+        "(best of interleaved repeats)"
+    )
+    header = (
+        f"  {'n':>6} {'R':>4} {'rounds':>6} {'channel':>13} "
+        f"{'bitpacked':>11} {'native':>11} {'speedup':>8}"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"  {row['n']:>6} {row['replicas']:>4} {row['rounds']:>6} "
+            f"{row['channel']:>13} {row['bitpacked_s']:>10.3f}s "
+            f"{row['native_s']:>10.3f}s {row['speedup']:>7.2f}x"
+        )
+    print(
+        f"  gate: noiseless n={gate_row['n']} speedup "
+        f"{gate_row['speedup']:.2f}x (target {args.target:g}x)"
+    )
+    print(f"wrote {args.output}")
+    if args.target and gate_row["speedup"] < args.target:
+        print(
+            f"FAIL: speedup {gate_row['speedup']:.2f}x below target "
+            f"{args.target:g}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,40 @@ def host_metadata() -> dict:
         "cpu_count": os.cpu_count(),
         "numpy": np.__version__,
         "scipy": scipy.__version__,
+        "cc": _compiler_version(),
+        "native_kernel_hash": _native_kernel_hash(),
     }
+
+
+def _compiler_version() -> "str | None":
+    """First line of ``cc --version``, or ``None`` on compiler-less hosts.
+
+    Native-tier numbers depend on the code the compiler emits, so the
+    provenance block pins which compiler produced the kernel.
+    """
+    import subprocess
+
+    from repro.engine.native.build import compiler_path
+
+    cc = compiler_path()
+    if cc is None:
+        return None
+    try:
+        probe = subprocess.run(
+            [cc, "--version"], capture_output=True, text=True, timeout=10
+        )
+    except OSError:
+        return None
+    if probe.returncode != 0 or not probe.stdout:
+        return None
+    return probe.stdout.splitlines()[0].strip()
+
+
+def _native_kernel_hash() -> str:
+    """Source hash of the native kernel (the ``.so`` cache key)."""
+    from repro.engine.native.build import kernel_source_hash
+
+    return kernel_source_hash()
 
 
 def run_and_print(benchmark, runner, quick: bool = True, seed: int = 0) -> list[Table]:

@@ -1,0 +1,26 @@
+"""The native tier: the packed hot loop compiled to machine code.
+
+``kernel.c`` (single file, C99, no dependencies) is built at first use by
+:mod:`~repro.engine.native.build` with the system ``cc`` into a
+per-source-hash cached shared library, and
+:class:`~repro.engine.native.backend.NativeBackend` drives it through
+:mod:`ctypes` — bit-identical to the dense and bit-packed backends on
+every input, falling back to bit-packed (with a one-time warning) on
+hosts without a C compiler.
+"""
+
+from .backend import NativeBackend
+from .build import (
+    NativeUnavailableError,
+    kernel_source_hash,
+    load_kernel,
+    native_availability,
+)
+
+__all__ = [
+    "NativeBackend",
+    "NativeUnavailableError",
+    "kernel_source_hash",
+    "load_kernel",
+    "native_availability",
+]

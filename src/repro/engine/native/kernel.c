@@ -1,0 +1,403 @@
+/* The native compiled kernel behind repro.engine.native.NativeBackend.
+ *
+ * Pure integer arithmetic over the exact packed-uint64 representation of
+ * repro/engine/packing.py: round t of a schedule row lives in bit t % 64
+ * of word t // 64 (little-endian bit order).  Every function below is a
+ * bit-for-bit restatement of a numpy pipeline stage -- pack_rows /
+ * unpack_rows, the segmented CSR neighbour-OR of BitpackedBackend, and
+ * the packed Philox flip-word XOR -- so the Python wrapper composes them
+ * into heard matrices identical to DenseBackend / BitpackedBackend on
+ * every input.  There is no floating point anywhere: bit-identity is a
+ * consequence of the operations, not a tolerance.
+ *
+ * The file is deliberately dependency-free (C99 + string.h, plus the
+ * baseline-x86-64 SSE2 intrinsics under #ifdef __SSE2__ with a portable
+ * SWAR fallback) and is compiled at first use by
+ * repro/engine/native/build.py with the system `cc` into a
+ * per-source-hash cached shared library loaded via ctypes.  Keep every
+ * exported symbol in sync with build.py's _SYMBOLS table; bump
+ * REPRO_NATIVE_ABI when any signature changes (the loader refuses stale
+ * libraries, which the per-source-hash cache name should already make
+ * impossible -- the ABI check is the belt to that suspender, and doubles
+ * as the corrupt-.so probe).
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+#ifdef __SSE2__
+#include <emmintrin.h>
+#endif
+
+#define REPRO_NATIVE_ABI 1
+
+/* Byte j (zero / non-zero) of 8 consecutive bytes -> bit j of the
+ * result.  SWAR fallback: the multiply by the bit-position ladder lands
+ * every input byte's low bit on a distinct output bit (8j + 7k + 7
+ * collides only at j - j' = 7, k' - k = 8, impossible within 0..7), so
+ * no carries: bits 56..63 of the product are exactly b_0..b_7. */
+static inline uint64_t gather8(const uint8_t *bytes) {
+    uint64_t chunk;
+    memcpy(&chunk, bytes, 8);
+    /* Normalise arbitrary non-zero bytes to 0x01 before the ladder. */
+    chunk |= chunk >> 4;
+    chunk |= chunk >> 2;
+    chunk |= chunk >> 1;
+    chunk &= UINT64_C(0x0101010101010101);
+    return (chunk * UINT64_C(0x0102040810204080)) >> 56;
+}
+
+/* 64 consecutive 0x00/0x01 bytes -> one packed word (bit j = byte j).
+ * SSE2: compare-greater-than-zero turns each byte into 0x00/0xFF and
+ * movemask collects the sign bits, 16 bytes per instruction. */
+static inline uint64_t pack64(const uint8_t *bytes) {
+#ifdef __SSE2__
+    const __m128i zero = _mm_setzero_si128();
+    uint64_t word = 0;
+    for (int group = 0; group < 4; ++group) {
+        __m128i chunk =
+            _mm_loadu_si128((const __m128i *)(bytes + group * 16));
+        __m128i set = _mm_cmpgt_epi8(chunk, zero);
+        word |= (uint64_t)(uint16_t)_mm_movemask_epi8(set) << (16 * group);
+    }
+    return word;
+#else
+    uint64_t word = 0;
+    for (int group = 0; group < 8; ++group)
+        word |= gather8(bytes + group * 8) << (8 * group);
+    return word;
+#endif
+}
+
+/* Bits 0..7 -> eight 0x00/0x01 bytes, via a 2 KiB lookup table (one
+ * aligned 8-byte store per input byte; the table lives in L1 after the
+ * first few rows).  Built on first use: the values are a pure function
+ * of the index, so a rebuild race would only rewrite identical bytes. */
+static uint64_t unpack_lut[256];
+static int unpack_lut_ready = 0;
+
+static void build_unpack_lut(void) {
+    for (int value = 0; value < 256; ++value) {
+        uint64_t spread = 0;
+        for (int bit = 0; bit < 8; ++bit)
+            if (value & (1 << bit))
+                spread |= UINT64_C(1) << (8 * bit);
+        unpack_lut[value] = spread;
+    }
+    unpack_lut_ready = 1;
+}
+
+/* Version handshake: build.py asserts this matches after dlopen, so a
+ * truncated or stale cache entry is detected and rebuilt, never run. */
+uint64_t repro_native_abi(void) { return REPRO_NATIVE_ABI; }
+
+/* Pack one row of `width` 0x00/0x01 bytes into ceil(width / 64) words.
+ * The tail word is assembled bit-by-bit so a row never reads past its
+ * own `width` bytes (rows abut in the caller's matrix). */
+static inline void pack_row(const uint8_t *bits, uint64_t *words,
+                            int64_t width) {
+    int64_t full = width / 64;
+    for (int64_t w = 0; w < full; ++w)
+        words[w] = pack64(bits + w * 64);
+    int64_t tail = width - full * 64;
+    if (tail) {
+        const uint8_t *chunk = bits + full * 64;
+        uint64_t word = 0;
+        for (int64_t bit = 0; bit < tail; ++bit)
+            word |= (uint64_t)(chunk[bit] != 0) << bit;
+        words[full] = word;
+    }
+}
+
+/* pack_rows: boolean (rows, width) matrix -> (rows, words) uint64. */
+void repro_pack_rows(const uint8_t *bits, uint64_t *words, int64_t rows,
+                     int64_t width) {
+    int64_t stride = (width + 63) / 64;
+    for (int64_t row = 0; row < rows; ++row)
+        pack_row(bits + row * width, words + row * stride, width);
+}
+
+/* One full word -> 64 output bytes.  The streaming variant uses
+ * non-temporal stores: the unpacked heard matrix is written once, read
+ * later by the caller, and at batch sizes it dwarfs the cache -- NT
+ * stores skip the read-for-ownership of each output line, roughly
+ * halving the write traffic. */
+static inline void unpack64(uint64_t word, uint8_t *out) {
+    for (int group = 0; group < 8; ++group) {
+        uint64_t spread = unpack_lut[(word >> (8 * group)) & 0xff];
+        memcpy(out + group * 8, &spread, 8);
+    }
+}
+
+#ifdef __SSE2__
+static inline void unpack64_stream(uint64_t word, uint8_t *out) {
+    for (int group = 0; group < 4; ++group) {
+        __m128i pair = _mm_set_epi64x(
+            (int64_t)unpack_lut[(word >> (16 * group + 8)) & 0xff],
+            (int64_t)unpack_lut[(word >> (16 * group)) & 0xff]);
+        _mm_stream_si128((__m128i *)(out + group * 16), pair);
+    }
+}
+#endif
+
+/* unpack_rows: (rows, words) uint64 -> boolean (rows, width) matrix. */
+void repro_unpack_rows(const uint64_t *words, uint8_t *bits, int64_t rows,
+                       int64_t width) {
+    if (!unpack_lut_ready)
+        build_unpack_lut();
+    int64_t stride = (width + 63) / 64;
+#ifdef __SSE2__
+    /* NT stores need 16-byte alignment: rows stride by `width`, so a
+     * 16-aligned base plus width % 16 == 0 keeps every store aligned. */
+    if (width % 64 == 0 && ((uintptr_t)bits & 15) == 0) {
+        for (int64_t row = 0; row < rows; ++row) {
+            const uint64_t *src = words + row * stride;
+            uint8_t *dst = bits + row * width;
+            for (int64_t w = 0; w < stride; ++w)
+                unpack64_stream(src[w], dst + w * 64);
+        }
+        _mm_sfence();
+        return;
+    }
+#endif
+    for (int64_t row = 0; row < rows; ++row) {
+        const uint64_t *src = words + row * stride;
+        uint8_t *dst = bits + row * width;
+        int64_t full = width / 64;
+        for (int64_t w = 0; w < full; ++w)
+            unpack64(src[w], dst + w * 64);
+        for (int64_t bit = full * 64; bit < width; ++bit)
+            dst[bit] = (uint8_t)((src[full] >> (bit - full * 64)) & 1);
+    }
+}
+
+/* XOR a boolean flip matrix into packed received words, packing on the
+ * fly: one pass, no intermediate flip-word matrix.  Rows here are the
+ * replica-local node rows; `received` is their packed (rows, words)
+ * block and `flips` the same-shaped boolean matrix. */
+void repro_xor_flips(uint64_t *received, const uint8_t *flips, int64_t rows,
+                     int64_t width) {
+    int64_t stride = (width + 63) / 64;
+    for (int64_t row = 0; row < rows; ++row) {
+        const uint8_t *bits = flips + row * width;
+        uint64_t *words = received + row * stride;
+        int64_t full = width / 64;
+        for (int64_t w = 0; w < full; ++w)
+            words[w] ^= pack64(bits + w * 64);
+        int64_t tail = width - full * 64;
+        if (tail) {
+            const uint8_t *chunk = bits + full * 64;
+            uint64_t word = 0;
+            for (int64_t bit = 0; bit < tail; ++bit)
+                word |= (uint64_t)(chunk[bit] != 0) << bit;
+            words[full] ^= word;
+        }
+    }
+}
+
+/* The replica-batched segmented neighbour-OR over a CSR adjacency:
+ * replica r owns packed rows r*n .. (r+1)*n, and node v's output row is
+ * the OR of v's CSR neighbours' rows within that replica -- seeded with
+ * v's own row when include_self is set (the heard = neighbours | self
+ * fusion), zeros otherwise (the bare neighbor_or primitive).  Boolean OR
+ * is associative and commutative, so the result is bit-identical to
+ * BitpackedBackend.neighbor_or_words for every replica count.  Index
+ * arrays arrive in whichever width scipy built them (int32 or int64);
+ * both variants share this body.  The hot shapes get dedicated loops:
+ * words == 1 (schedules up to 64 rounds) accumulates in one register,
+ * words <= 4 (up to 256 rounds) in a fixed-size register block; the
+ * general case falls back to a word loop over the row pair. */
+#define CSR_OR_BATCH_BODY(INDEX_T)                                          \
+    int64_t row_words = words;                                              \
+    for (int64_t r = 0; r < replicas; ++r) {                                \
+        const uint64_t *base = packed + r * n * row_words;                  \
+        uint64_t *out_base = out + r * n * row_words;                       \
+        if (row_words == 1) {                                               \
+            for (int64_t v = 0; v < n; ++v) {                               \
+                uint64_t acc = include_self ? base[v] : 0;                  \
+                for (INDEX_T e = indptr[v]; e < indptr[v + 1]; ++e)         \
+                    acc |= base[indices[e]];                                \
+                out_base[v] = acc;                                          \
+            }                                                               \
+            continue;                                                       \
+        }                                                                   \
+        if (row_words <= 4) {                                               \
+            for (int64_t v = 0; v < n; ++v) {                               \
+                uint64_t acc[4] = {0, 0, 0, 0};                             \
+                if (include_self) {                                         \
+                    const uint64_t *self = base + v * row_words;            \
+                    for (int64_t w = 0; w < row_words; ++w)                 \
+                        acc[w] = self[w];                                   \
+                }                                                           \
+                for (INDEX_T e = indptr[v]; e < indptr[v + 1]; ++e) {       \
+                    const uint64_t *src =                                   \
+                        base + (int64_t)indices[e] * row_words;             \
+                    for (int64_t w = 0; w < row_words; ++w)                 \
+                        acc[w] |= src[w];                                   \
+                }                                                           \
+                uint64_t *dst = out_base + v * row_words;                   \
+                for (int64_t w = 0; w < row_words; ++w)                     \
+                    dst[w] = acc[w];                                        \
+            }                                                               \
+            continue;                                                       \
+        }                                                                   \
+        for (int64_t v = 0; v < n; ++v) {                                   \
+            uint64_t *dst = out_base + v * row_words;                       \
+            if (include_self)                                               \
+                memcpy(dst, base + v * row_words,                           \
+                       (size_t)row_words * sizeof(uint64_t));               \
+            else                                                            \
+                memset(dst, 0, (size_t)row_words * sizeof(uint64_t));       \
+            for (INDEX_T e = indptr[v]; e < indptr[v + 1]; ++e) {           \
+                const uint64_t *src =                                       \
+                    base + (int64_t)indices[e] * row_words;                 \
+                for (int64_t w = 0; w < row_words; ++w)                     \
+                    dst[w] |= src[w];                                       \
+            }                                                               \
+        }                                                                   \
+    }
+
+void repro_csr_or_batch_i32(const int32_t *indptr, const int32_t *indices,
+                            const uint64_t *packed, uint64_t *out, int64_t n,
+                            int64_t replicas, int64_t words,
+                            int32_t include_self) {
+    CSR_OR_BATCH_BODY(int32_t)
+}
+
+void repro_csr_or_batch_i64(const int64_t *indptr, const int64_t *indices,
+                            const uint64_t *packed, uint64_t *out, int64_t n,
+                            int64_t replicas, int64_t words,
+                            int32_t include_self) {
+    CSR_OR_BATCH_BODY(int64_t)
+}
+
+/* Pack one partial word (tail < 64 bits) from 0x00/0x01 bytes. */
+static inline uint64_t pack_tail(const uint8_t *bits, int64_t tail) {
+    uint64_t word = 0;
+    for (int64_t bit = 0; bit < tail; ++bit)
+        word |= (uint64_t)(bits[bit] != 0) << bit;
+    return word;
+}
+
+/* Fused schedule execution: (self | OR-of-neighbours) ^ flips, unpacked
+ * straight to the boolean heard matrix -- one pass per node row, no
+ * packed received matrix materialised.  `packed` is the pre-packed
+ * (replicas * n, words) schedule; `flips` (may be NULL) is a boolean
+ * (replicas * n, width) matrix of which only replicas with
+ * flip_flags[r] != 0 are read, so noiseless replicas cost nothing.
+ * Operation order matches BitpackedBackend exactly: OR first, XOR
+ * second -- and since XOR/OR are bitwise, fusing passes cannot change a
+ * bit.  The caller guarantees words <= REPRO_MAX_FUSED_WORDS (the
+ * Python wrapper falls back to the separate-stage kernels above for
+ * longer schedules). */
+#define REPRO_MAX_FUSED_WORDS 128
+
+uint64_t repro_max_fused_words(void) { return REPRO_MAX_FUSED_WORDS; }
+
+#define HEARD_BATCH_BODY(INDEX_T)                                           \
+    if (!unpack_lut_ready)                                                  \
+        build_unpack_lut();                                                 \
+    int64_t full = width / 64;                                              \
+    int64_t tail = width - full * 64;                                       \
+    int64_t row_words = words;                                              \
+    int stream = 0;                                                         \
+    uint64_t acc[REPRO_MAX_FUSED_WORDS];                                    \
+    STREAM_PROBE(out_bits, width)                                           \
+    for (int64_t r = 0; r < replicas; ++r) {                                \
+        const uint64_t *base = packed + r * n * row_words;                  \
+        int has_flips = flips != 0 && flip_flags[r] != 0;                   \
+        if (row_words == 1) {                                               \
+            /* Whole schedules within one word (<= 64 rounds): the       */ \
+            /* accumulator lives in a register and the emit is a single  */ \
+            /* unpacked word (tail == 0 is impossible here only when     */ \
+            /* width == 64; shorter widths take the scalar tail loop).   */ \
+            for (int64_t v = 0; v < n; ++v) {                               \
+                uint64_t one = include_self ? base[v] : 0;                  \
+                for (INDEX_T e = indptr[v]; e < indptr[v + 1]; ++e)         \
+                    one |= base[indices[e]];                                \
+                if (has_flips) {                                            \
+                    const uint8_t *flip_row = flips + (r * n + v) * width;  \
+                    one ^= full ? pack64(flip_row)                          \
+                                : pack_tail(flip_row, tail);                \
+                }                                                           \
+                uint8_t *dst = out_bits + (r * n + v) * width;              \
+                STREAM_EMIT_ONE(dst, one)                                   \
+                if (full)                                                   \
+                    unpack64(one, dst);                                     \
+                else                                                        \
+                    for (int64_t bit = 0; bit < tail; ++bit)                \
+                        dst[bit] = (uint8_t)((one >> bit) & 1);             \
+            }                                                               \
+            continue;                                                       \
+        }                                                                   \
+        for (int64_t v = 0; v < n; ++v) {                                   \
+            const uint64_t *self = base + v * row_words;                    \
+            if (include_self)                                               \
+                for (int64_t w = 0; w < row_words; ++w)                     \
+                    acc[w] = self[w];                                       \
+            else                                                            \
+                for (int64_t w = 0; w < row_words; ++w)                     \
+                    acc[w] = 0;                                             \
+            for (INDEX_T e = indptr[v]; e < indptr[v + 1]; ++e) {           \
+                const uint64_t *src =                                       \
+                    base + (int64_t)indices[e] * row_words;                 \
+                for (int64_t w = 0; w < row_words; ++w)                     \
+                    acc[w] |= src[w];                                       \
+            }                                                               \
+            if (has_flips) {                                                \
+                const uint8_t *flip_row = flips + (r * n + v) * width;      \
+                for (int64_t w = 0; w < full; ++w)                          \
+                    acc[w] ^= pack64(flip_row + w * 64);                    \
+                if (tail)                                                   \
+                    acc[full] ^= pack_tail(flip_row + full * 64, tail);     \
+            }                                                               \
+            uint8_t *dst = out_bits + (r * n + v) * width;                  \
+            STREAM_EMIT(dst)                                                \
+            for (int64_t w = 0; w < full; ++w)                              \
+                unpack64(acc[w], dst + w * 64);                             \
+            for (int64_t bit = 0; bit < tail; ++bit)                        \
+                dst[full * 64 + bit] =                                      \
+                    (uint8_t)((acc[full] >> bit) & 1);                      \
+        }                                                                   \
+    }                                                                       \
+    STREAM_FENCE()
+
+#ifdef __SSE2__
+#define STREAM_PROBE(out_bits, width)                                       \
+    stream = (width % 64 == 0) && (((uintptr_t)(out_bits)&15) == 0);
+#define STREAM_EMIT(dst)                                                    \
+    if (stream) {                                                           \
+        for (int64_t w = 0; w < row_words; ++w)                             \
+            unpack64_stream(acc[w], (dst) + w * 64);                        \
+        continue;                                                           \
+    }
+#define STREAM_EMIT_ONE(dst, word)                                          \
+    if (stream) {                                                           \
+        unpack64_stream((word), (dst));                                     \
+        continue;                                                           \
+    }
+#define STREAM_FENCE()                                                      \
+    if (stream)                                                             \
+        _mm_sfence();
+#else
+#define STREAM_PROBE(out_bits, width) (void)stream;
+#define STREAM_EMIT(dst)
+#define STREAM_EMIT_ONE(dst, word)
+#define STREAM_FENCE()
+#endif
+
+void repro_heard_batch_i32(const int32_t *indptr, const int32_t *indices,
+                           const uint64_t *packed, const uint8_t *flips,
+                           const uint8_t *flip_flags, uint8_t *out_bits,
+                           int64_t n, int64_t replicas, int64_t words,
+                           int64_t width, int32_t include_self) {
+    HEARD_BATCH_BODY(int32_t)
+}
+
+void repro_heard_batch_i64(const int64_t *indptr, const int64_t *indices,
+                           const uint64_t *packed, const uint8_t *flips,
+                           const uint8_t *flip_flags, uint8_t *out_bits,
+                           int64_t n, int64_t replicas, int64_t words,
+                           int64_t width, int32_t include_self) {
+    HEARD_BATCH_BODY(int64_t)
+}

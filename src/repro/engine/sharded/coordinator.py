@@ -63,9 +63,10 @@ __all__ = ["ShardedBackend", "CHUNK_BYTES", "send_array", "recv_array"]
 #: serialises a giant single message.
 CHUNK_BYTES = 1 << 20
 
-#: Local kernels a shard worker can run (the two single-process
-#: backends, restricted to shard rows).
-_KERNELS = ("dense", "bitpacked")
+#: Local kernels a shard worker can run (the single-process backends,
+#: restricted to shard rows).  "native" workers that find no compiler
+#: fall back to the bit-packed path in-process, bit-identically.
+_KERNELS = ("dense", "bitpacked", "native")
 
 
 def send_array(conn: "Connection", array: np.ndarray) -> None:

@@ -195,10 +195,12 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=("auto", *available_backends()),
         default=None,
-        help="override the grid's backend axis (all backends are "
-        "bit-identical; this axis measures speed only)",
+        metavar="NAME",
+        help="override the grid's backend axis: "
+        f"{', '.join(('auto', *available_backends()))} (all backends are "
+        "bit-identical; this axis measures speed only).  Unknown names "
+        "exit 2 with the known list",
     )
     parser.add_argument(
         "--runtime",
@@ -414,10 +416,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=("auto", *available_backends()),
         default=None,
-        help="simulation backend for beep-schedule execution; all choices "
-        "are bit-identical (default: auto = pick by schedule size)",
+        metavar="NAME",
+        help="simulation backend for beep-schedule execution: "
+        f"{', '.join(('auto', *available_backends()))}; all choices are "
+        "bit-identical (default: auto = pick by schedule size).  Unknown "
+        "names exit 2 with the known list",
     )
     parser.add_argument(
         "--runtime",

@@ -52,8 +52,20 @@ class TestBackendFlag:
         assert get_default_backend() == before
 
     def test_unknown_backend_rejected(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["e01", "--backend", "quantum"])
+        # Not an argparse SystemExit: unknown names flow through the
+        # registry so the one-line error lists every known backend.
+        assert main(["e01", "--backend", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown backend 'quantum'")
+        assert "'native'" in err and "'bitpacked'" in err and "'dense'" in err
+
+    def test_unknown_backend_rejected_on_sweep(self, tmp_path, capsys):
+        grid = tmp_path / "grid.toml"
+        grid.write_text(GRID_TOML)
+        assert main(["sweep", "--grid", str(grid), "--backend", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown backend 'quantum'")
+        assert "'native'" in err
 
 
 class TestRuntimeFlag:

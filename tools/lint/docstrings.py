@@ -44,6 +44,9 @@ MODULES: "tuple[str, ...]" = (
     "repro.engine.sharded.partition",
     "repro.engine.sharded.shard",
     "repro.engine.sharded.coordinator",
+    "repro.engine.native",
+    "repro.engine.native.build",
+    "repro.engine.native.backend",
     "repro.memguard",
     "repro.experiments.spec",
     "repro.experiments.api",
